@@ -1,0 +1,59 @@
+"""Ablation benchmarks: sampling, calibration, deployment, pipeline."""
+
+from conftest import run_and_report
+
+
+def test_ablation_sampling(benchmark):
+    """Curated-vs-random sweep across training budgets (extends Fig. 1)."""
+    result = run_and_report(benchmark, "ablation_sampling")
+    assert result.measured["fig1_curated_3866"] > \
+        result.measured["fig1_random_1k"]
+
+
+def test_ablation_calibration(benchmark):
+    """Roofline anchors: zero violations across all paper claims."""
+    result = run_and_report(benchmark, "ablation_calibration")
+    assert result.measured["anchor_violations"] == 0.0
+
+
+def test_ablation_deployment(benchmark):
+    """Accuracy-aware edge-cloud placement across FPS targets."""
+    result = run_and_report(benchmark, "ablation_deployment")
+    assert result.measured["workstation_hosts_xlarge"] == 1.0
+
+
+def test_ablation_pipeline(benchmark):
+    """End-to-end VIP pipeline feasibility at the 10 FPS extraction
+    rate."""
+    run_and_report(benchmark, "ablation_pipeline", n_frames=120)
+
+
+def test_ablation_adaptive(benchmark):
+    """Adaptive vs static edge-cloud deployment under network
+    degradation (paper future work)."""
+    result = run_and_report(benchmark, "ablation_adaptive")
+    assert result.measured["adaptive_beats_static"] == 1.0
+
+
+def test_ablation_efficiency(benchmark):
+    """Energy per frame, cost efficiency and multi-stream serving."""
+    result = run_and_report(benchmark, "ablation_efficiency")
+    assert result.measured["workstation_streams_xlarge"] >= 3.0
+
+
+def test_ablation_precision(benchmark):
+    """FP16/INT8 deployment study over the paper's model/device grid."""
+    result = run_and_report(benchmark, "ablation_precision")
+    assert abs(result.measured["fp32_nx_yolov8x_ms"] - 989.0) < 10.0
+
+
+def test_ablation_fleet(benchmark):
+    """UAV-fleet scheduling sweep (paper reference [8] setting)."""
+    result = run_and_report(benchmark, "ablation_fleet")
+    assert result.measured["adaptive_violation_rate_big_fleet"] < 0.01
+
+
+def test_ablation_strata(benchmark):
+    """Per-stratum dataset characterisation (the Fig. 1 mechanism)."""
+    result = run_and_report(benchmark, "ablation_strata")
+    assert result.all_claims_hold

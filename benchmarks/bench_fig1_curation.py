@@ -1,0 +1,19 @@
+"""Fig. 1 benchmark: training-set size/quality vs precision."""
+
+import pytest
+from conftest import run_and_report
+
+
+def test_fig1_curation(benchmark):
+    result = run_and_report(benchmark, "fig1")
+    # Paper operating points: 93 % (1k random) vs 99.5 % (3.8k curated).
+    assert result.measured["random_1k_pct"] == pytest.approx(93.0,
+                                                             abs=1.5)
+    assert result.measured["curated_3866_pct"] == pytest.approx(
+        99.5, abs=0.5)
+
+
+def test_fig2_gallery(benchmark):
+    """Fig. 2: one rendered sample per Table 1 stratum."""
+    result = run_and_report(benchmark, "fig2")
+    assert result.measured["gallery_panels"] == 12.0

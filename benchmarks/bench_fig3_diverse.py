@@ -1,0 +1,13 @@
+"""Fig. 3 benchmark: RT YOLO accuracy on the diverse test set."""
+
+import pytest
+from conftest import run_and_report
+
+
+def test_fig3_diverse_accuracy(benchmark):
+    result = run_and_report(benchmark, "fig3")
+    assert result.measured["yolov11-m_pct"] == pytest.approx(99.49,
+                                                             abs=0.3)
+    assert result.measured["yolov11-x_pct"] == pytest.approx(99.27,
+                                                             abs=0.3)
+    assert result.measured["min_accuracy_pct"] >= 98.4

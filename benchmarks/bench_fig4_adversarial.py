@@ -1,0 +1,12 @@
+"""Fig. 4 benchmark: RT YOLO accuracy on the adversarial test set."""
+
+import pytest
+from conftest import run_and_report
+
+
+def test_fig4_adversarial_accuracy(benchmark):
+    result = run_and_report(benchmark, "fig4")
+    assert result.measured["yolov11-x_pct"] == pytest.approx(99.11,
+                                                             abs=0.5)
+    assert result.measured["yolov8-x_pct"] == pytest.approx(98.11,
+                                                            abs=0.5)

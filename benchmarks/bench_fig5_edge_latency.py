@@ -1,0 +1,22 @@
+"""Fig. 5 benchmark: inference times on the Jetson edge accelerators."""
+
+import pytest
+from conftest import run_and_report
+
+from repro.latency.runtime import SimulatedRuntime
+
+
+def test_fig5_edge_latency(benchmark):
+    result = run_and_report(benchmark, "fig5", n_frames=1000)
+    # §4.2.3 anchors: NX x-large ≈989 ms; BodyPose 28–47 ms band.
+    assert result.measured["nx_yolov8x_max_ms"] == pytest.approx(
+        989.0, abs=25.0)
+    assert result.measured["bodypose_band_lo"] >= 26.0
+    assert result.measured["bodypose_band_hi"] <= 48.0
+
+
+def test_single_run_1000_frames(benchmark):
+    """Cost of one ~1,000-frame simulated benchmark (paper's unit)."""
+    runtime = SimulatedRuntime()
+    run = benchmark(runtime.run, "yolov8-x", "xavier-nx")
+    assert run.median_ms == pytest.approx(989.0, abs=25.0)

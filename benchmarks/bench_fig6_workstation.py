@@ -1,0 +1,13 @@
+"""Fig. 6 benchmark: inference times on the RTX 4090 workstation."""
+
+import pytest
+from conftest import run_and_report
+
+
+def test_fig6_workstation_latency(benchmark):
+    result = run_and_report(benchmark, "fig6", n_frames=1000)
+    # §4.2.4: all ≤25 ms; x-large <20 ms; ≈50× over Xavier NX.
+    assert result.measured["all_models_bound_ms"] <= 25.0
+    assert result.measured["x_large_bound_ms"] <= 20.0
+    assert result.measured["nx_speedup"] == pytest.approx(50.0,
+                                                          abs=8.0)

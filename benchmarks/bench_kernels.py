@@ -1,0 +1,102 @@
+"""Micro-benchmarks for the hot kernels underneath the suite.
+
+These are the pieces whose throughput bounds everything else: the im2col
+convolution, the IoU/NMS kernels, the renderer, the training step and
+the latency sampler.  They track performance regressions in the
+substrate the way asv would in a long-lived project.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import iou_matrix
+from repro.geometry.nms import nms
+from repro.latency.sampler import LatencySampler
+from repro.models.registry import build_mini_model
+from repro.models.yolo.train import (build_targets, detection_loss,
+                                     frames_to_arrays)
+from repro.nn.layers import Conv2d
+
+RNG = np.random.default_rng(0)
+
+
+def test_conv2d_forward(benchmark):
+    conv = Conv2d(16, 32, 3, rng=RNG)
+    x = RNG.normal(size=(16, 16, 32, 32)).astype(np.float32)
+    out = benchmark(conv.forward, x, False)
+    assert out.shape == (16, 32, 32, 32)
+
+
+def test_conv2d_backward(benchmark):
+    conv = Conv2d(16, 32, 3, rng=RNG)
+    x = RNG.normal(size=(8, 16, 32, 32)).astype(np.float32)
+    out = conv.forward(x, training=True)
+    g = np.ones_like(out)
+
+    def step():
+        conv.forward(x, training=True)
+        return conv.backward(g)
+
+    gin = benchmark(step)
+    assert gin.shape == x.shape
+
+
+def test_iou_matrix_kernel(benchmark):
+    a = np.concatenate([RNG.uniform(0, 500, (500, 2)),
+                        RNG.uniform(510, 640, (500, 2))], axis=1)
+    b = np.concatenate([RNG.uniform(0, 500, (300, 2)),
+                        RNG.uniform(510, 640, (300, 2))], axis=1)
+    m = benchmark(iou_matrix, a, b)
+    assert m.shape == (500, 300)
+
+
+def test_nms_kernel(benchmark):
+    xy = RNG.uniform(0, 600, (400, 2))
+    wh = RNG.uniform(10, 60, (400, 2))
+    boxes = np.concatenate([xy, xy + wh], axis=1)
+    scores = RNG.random(400)
+    keep = benchmark(nms, boxes, scores, 0.7)
+    assert len(keep) > 0
+
+
+def test_mini_yolo_inference(benchmark, mini_training_assets):
+    model = build_mini_model("yolov8-m", seed=7)
+    images = mini_training_assets["images"][:16]
+    raw = benchmark(model.forward, images, False)
+    assert raw.shape[0] == 16
+
+
+def test_mini_yolo_train_step(benchmark, mini_training_assets):
+    model = build_mini_model("yolov8-n", seed=7)
+    images = mini_training_assets["images"][:16]
+    boxes = mini_training_assets["boxes"][:16]
+    cfg = model.config
+
+    def step():
+        raw = model.forward(images, training=True)
+        obj, box_t, pos = build_targets(boxes, cfg.grid, cfg.stride)
+        loss, _, grad = detection_loss(raw, obj, box_t, pos)
+        model.backward(grad)
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_latency_sampler_1000_frames(benchmark):
+    sampler = LatencySampler(seed=7)
+    samples = benchmark(sampler.sample, "yolov8-m", "orin-nano", 1000)
+    assert len(samples) == 1000
+
+
+def test_renderer_batch(benchmark, mini_training_assets):
+    builder = mini_training_assets["builder"]
+    records = builder.build_scaled(0.005).records[:16]
+    frames = benchmark(builder.render_records, records)
+    assert len(frames) == 16
+
+
+def test_frames_to_arrays(benchmark, mini_training_assets):
+    frames = mini_training_assets["frames"]
+    images, boxes = benchmark(frames_to_arrays, frames)
+    assert images.shape[0] == len(frames)

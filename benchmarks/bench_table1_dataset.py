@@ -1,0 +1,25 @@
+"""Table 1 benchmark: full 30,711-record dataset build + summary."""
+
+from conftest import run_and_report
+
+from repro.dataset.builder import DatasetBuilder
+
+
+def test_table1_dataset_summary(benchmark):
+    result = run_and_report(benchmark, "table1")
+    assert result.measured["total_images"] == 30711
+
+
+def test_full_index_build_throughput(benchmark):
+    """Raw index-construction speed (lazy records, no rendering)."""
+    builder = DatasetBuilder(seed=7, image_size=64)
+    index = benchmark(builder.build_full)
+    assert len(index) == 30711
+
+
+def test_frame_render_throughput(benchmark):
+    """Single-frame render cost (the dataset's materialisation unit)."""
+    builder = DatasetBuilder(seed=7, image_size=64)
+    record = builder.build_scaled(0.01)[0]
+    frame = benchmark(record.render, builder.renderer)
+    assert frame.image.shape == (64, 64, 3)

@@ -1,0 +1,24 @@
+"""Table 2 benchmark: model spec table + descriptor derivation."""
+
+from conftest import run_and_report
+
+from repro.models.arch import descriptor_for
+from repro.models.spec import ALL_MODEL_ORDER
+
+
+def test_table2_model_specs(benchmark):
+    result = run_and_report(benchmark, "table2")
+    # Derived YOLOv8 parameter counts land within 10 % of Table 2.
+    for v in "nmx":
+        name = f"yolov8-{v}"
+        ratio = (result.measured[f"{name}_params_M"]
+                 / result.paper_reference[f"{name}_params_M"])
+        assert 0.9 <= ratio <= 1.1
+
+
+def test_descriptor_generation_throughput(benchmark):
+    """Cost of deriving all eight full-scale architecture descriptors."""
+    def build_all():
+        return [descriptor_for(name) for name in ALL_MODEL_ORDER]
+    descriptors = benchmark(build_all)
+    assert len(descriptors) == 8

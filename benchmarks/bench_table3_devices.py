@@ -1,0 +1,16 @@
+"""Table 3 benchmark: device spec table + roofline grid derivation."""
+
+from conftest import run_and_report
+
+from repro.latency.estimator import latency_table_ms
+
+
+def test_table3_device_specs(benchmark):
+    result = run_and_report(benchmark, "table3")
+    assert result.measured["agx_cores"] == 2048
+
+
+def test_latency_grid_throughput(benchmark):
+    """Cost of the full 8-model × 4-device roofline grid."""
+    grid = benchmark(latency_table_ms)
+    assert len(grid) == 4 and all(len(r) == 8 for r in grid.values())

@@ -1,0 +1,40 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Each ``bench_*.py`` regenerates one paper table/figure: the benchmark
+fixture times the regeneration, the experiment's claims are asserted, and
+the reproduced rows are echoed so ``pytest benchmarks/ --benchmark-only``
+output doubles as the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments.registry import run_experiment
+
+
+def run_and_report(benchmark, experiment_id: str, **kwargs):
+    """Benchmark one experiment, assert its claims, echo its table."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **kwargs),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert result.all_claims_hold, result.failed_claims()
+    print()
+    print(result.to_markdown())
+    return result
+
+
+@pytest.fixture(scope="session")
+def mini_training_assets():
+    """Small rendered training/eval sets shared by model benchmarks."""
+    from repro.dataset.builder import DatasetBuilder
+    from repro.models.yolo.train import frames_to_arrays
+
+    builder = DatasetBuilder(seed=7, image_size=64)
+    index = builder.build_scaled(0.008)
+    clean = [r for r in index
+             if r.subcategory_key != "adversarial/all"][:96]
+    frames = builder.render_records(clean)
+    images, boxes = frames_to_arrays(frames)
+    return {"builder": builder, "frames": frames, "images": images,
+            "boxes": boxes}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Dataset curation study: Fig. 1, run live on executable mini models.
+
+The paper's motivating result is that *curated* (stratified) training
+data beats *random* sampling: 93 % → 99.5 % precision for YOLOv11-m.
+This example reproduces the mechanism with real training runs at mini
+scale: the same mini detector is trained on (a) a small random sample
+and (b) a larger stratified sample, then both are evaluated on diverse
+and adversarial held-out frames.
+
+Random sampling under-represents the adversarial stratum, so model (a)
+degrades on hard frames — the same failure mode the full-scale numbers
+show.  The surrogate sweep at the end gives the full-scale curve.
+
+Run:  python examples/dataset_curation_study.py   (~1 minute)
+"""
+
+from repro.io.report import markdown_table
+from repro.train.protocol import RetrainProtocol
+from repro.train.surrogate import AccuracySurrogate, SurrogateQuery
+
+SEED = 7
+
+
+def live_mini_study() -> None:
+    print("\nLive mini-model study (real NumPy training runs):")
+    protocol = RetrainProtocol(dataset_fraction=0.015,
+                               max_test_images=120)
+
+    outcomes = []
+    print("  training on a small RANDOM sample…")
+    outcomes.append(("random, small budget", protocol.run(
+        "yolov8-n", curated=False, train_budget=64, epochs=25)))
+    print("  training on the CURATED (stratified) sample…")
+    outcomes.append(("curated, protocol budget", protocol.run(
+        "yolov8-n", curated=True, epochs=25)))
+
+    rows = []
+    for label, out in outcomes:
+        rows.append([label, out.train_size,
+                     f"{100 * out.diverse_accuracy:.1f}",
+                     f"{100 * out.adversarial_accuracy:.1f}",
+                     f"{out.final_loss:.3f}"])
+    print()
+    print(markdown_table(
+        ["Training set", "Images", "Diverse acc (%)",
+         "Adversarial acc (%)", "Final loss"], rows))
+    better = (outcomes[1][1].diverse_accuracy
+              >= outcomes[0][1].diverse_accuracy)
+    print(f"\n  Curated-beats-random trend holds: {better}")
+
+
+def full_scale_sweep() -> None:
+    print("\nFull-scale sweep (calibrated surrogate, YOLOv11-m):")
+    surrogate = AccuracySurrogate()
+    rows = []
+    for n in (500, 1000, 2000, 3866):
+        for curated in (False, True):
+            q = SurrogateQuery("yolov11-m", "diverse", train_size=n,
+                               curated=curated)
+            rows.append([n, "stratified" if curated else "random",
+                         f"{surrogate.expected_precision_pct(q):.2f}"])
+    print(markdown_table(
+        ["Train images", "Sampling", "Expected precision (%)"], rows))
+    print("\n  Paper anchors: 1k random = 93 %, 3.8k curated = 99.5 % "
+          "(Fig. 1); baselines: generic YOLOv9-e 81 %, "
+          "YOLOv8-s@795 85.7 % (§1).")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Dataset curation study (Fig. 1)")
+    print("=" * 70)
+    live_mini_study()
+    full_scale_sweep()
+
+
+if __name__ == "__main__":
+    main()

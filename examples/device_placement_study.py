@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Device placement study: which model goes where? (paper §4.2.4 +
+future-work 'accuracy-aware adaptive deployment').
+
+Sweeps frame-rate targets and constraint profiles through the deployment
+advisor, prints the accuracy–latency Pareto front over the full
+model × device grid, and shows the latency decomposition that explains
+*why* the placements come out the way they do (x-large is compute-bound
+on edge; nano is overhead-bound on the workstation).
+
+Run:  python examples/device_placement_study.py
+"""
+
+from repro.core.deployment import DeploymentAdvisor, PlacementConstraints
+from repro.core.tradeoff import accuracy_latency_tradeoff, pareto_front
+from repro.errors import BenchmarkError
+from repro.io.report import markdown_table
+from repro.latency.estimator import LatencyEstimator
+
+
+def show_pareto_front() -> None:
+    print("\nAccuracy-latency Pareto front (model x device grid):")
+    points = accuracy_latency_tradeoff()
+    front = pareto_front(points)
+    rows = [[p.model, p.device, f"{p.accuracy_pct:.2f}",
+             f"{p.adversarial_pct:.2f}", f"{p.median_latency_ms:.1f}",
+             f"{p.fps:.1f}"] for p in front]
+    print(markdown_table(
+        ["Model", "Device", "Diverse acc (%)", "Adv. acc (%)",
+         "Median latency (ms)", "FPS"], rows))
+
+
+def show_recommendations() -> None:
+    print("\nDeployment advisor recommendations:")
+    advisor = DeploymentAdvisor()
+    profiles = [
+        ("Relaxed (2 FPS)", PlacementConstraints(target_fps=2.0)),
+        ("Extraction rate (10 FPS)",
+         PlacementConstraints(target_fps=10.0)),
+        ("Camera rate (30 FPS)",
+         PlacementConstraints(target_fps=30.0)),
+        ("10 FPS + adversarial robustness",
+         PlacementConstraints(target_fps=10.0,
+                              require_adversarial_robustness=True,
+                              min_adversarial_pct=95.0)),
+        ("Edge-only 10 FPS (no network)",
+         PlacementConstraints(target_fps=10.0, network_rtt_ms=1e9)),
+    ]
+    rows = []
+    for label, constraints in profiles:
+        devices = (("orin-agx", "orin-nano", "xavier-nx")
+                   if constraints.network_rtt_ms >= 1e9 else
+                   ("orin-agx", "orin-nano", "xavier-nx", "rtx4090"))
+        try:
+            plan = advisor.recommend(constraints, devices=devices)
+            rows.append([label, plan.model, plan.device,
+                         "onboard" if plan.onboard else "offboard",
+                         f"{plan.accuracy_pct:.2f}",
+                         f"{plan.effective_latency_ms:.1f}",
+                         f"{plan.headroom_ms:.1f}"])
+        except BenchmarkError:
+            rows.append([label, "-", "-", "infeasible", "-", "-", "-"])
+    print(markdown_table(
+        ["Constraint profile", "Model", "Device", "Placement",
+         "Accuracy (%)", "Latency (ms)", "Headroom (ms)"], rows))
+
+
+def show_breakdowns() -> None:
+    print("\nWhy: latency decomposition (roofline terms, ms):")
+    est = LatencyEstimator()
+    rows = []
+    for model, device in (("yolov8-x", "xavier-nx"),
+                          ("yolov8-x", "rtx4090"),
+                          ("yolov8-n", "rtx4090"),
+                          ("monodepth2", "xavier-nx"),
+                          ("trt_pose", "orin-agx")):
+        b = est.breakdown(model, device)
+        rows.append([model, device, f"{b.compute_ms:.2f}",
+                     f"{b.memory_ms:.2f}", f"{b.overhead_ms:.2f}",
+                     f"{b.postprocess_ms:.2f}", f"{b.total_ms:.2f}",
+                     "compute" if b.compute_bound else "memory"])
+    print(markdown_table(
+        ["Model", "Device", "Compute", "Memory", "Overhead",
+         "Postproc", "Total", "Bound"], rows))
+    print("\nReading: YOLOv8-x on Xavier NX is ~97% compute "
+          "(hence 989 ms); the same model on the RTX 4090 takes 20 ms; "
+          "nano models on the workstation are dominated by host "
+          "overhead — exactly the structure behind Figs. 5 and 6.")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Edge-cloud placement study")
+    print("=" * 70)
+    show_pareto_front()
+    show_recommendations()
+    show_breakdowns()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Future-work extensions: multi-modal sensing + adaptive deployment.
+
+The paper's §5 names two future directions; both are implemented here
+and this example demonstrates them together:
+
+1. **Multi-modal sensing** — a thermal channel and a planar LiDAR are
+   simulated from the same scene ground truth.  The demo shows thermal
+   detection surviving a night scene that blinds the RGB detector, and
+   LiDAR obstacle segmentation providing metric ranges.
+2. **Adaptive deployment** — a controller runs the VIP detector on an
+   accuracy-ordered ladder of (model, device) arms, shedding to
+   on-board placements when the drone's network link degrades and
+   probing for recovery afterwards.
+
+Run:  python examples/multimodal_and_adaptive.py
+"""
+
+import numpy as np
+
+from repro.core.adaptive import (AdaptiveDeployment, AdaptivePolicy,
+                                 default_arms)
+from repro.dataset.scene import sample_scene
+from repro.dataset.renderer import SceneRenderer
+from repro.dataset.taxonomy import subcategory_by_key
+from repro.image.augment import (AdversarialKind, AugmentConfig,
+                                 apply_adversarial)
+from repro.io.report import markdown_table
+from repro.multimodal.fusion import thermal_detect
+from repro.multimodal.lidar import (LidarConfig, scan_obstacles,
+                                    simulate_lidar_scan)
+from repro.multimodal.thermal import ThermalConfig, ThermalRenderer
+from repro.rng import make_rng
+
+SEED = 7
+
+
+def multimodal_demo() -> None:
+    print("\n--- Multi-modal sensing ---")
+    renderer = SceneRenderer(64)
+    sub = subcategory_by_key("side_of_road/parked_cars")
+    spec = sample_scene(sub, make_rng(SEED, "mm-demo"))
+    frame = renderer.render(spec, make_rng(SEED, "mm-render"))
+
+    # Night: RGB nearly black, thermal unaffected.
+    night_rgb, _ = apply_adversarial(
+        frame.image, [], AdversarialKind.LOW_LIGHT,
+        AugmentConfig(severity=0.95), make_rng(SEED, "night"))
+    print(f"Night RGB mean intensity: {night_rgb.mean():.3f} "
+          f"(daylight was {frame.image.mean():.3f})")
+
+    thermal = ThermalRenderer(ThermalConfig(ambient_c=12.0))
+    temp = thermal.render(frame, make_rng(SEED, "thermal"))
+    dets = thermal_detect(temp)
+    print(f"Thermal map: {temp.min():.1f}..{temp.max():.1f} degC; "
+          f"{len(dets)} warm-body detections")
+    if dets and frame.vest_boxes:
+        d = dets[0].box
+        v = frame.vest_boxes[0]
+        print(f"  top thermal detection at ({d.x1:.0f},{d.y1:.0f})-"
+              f"({d.x2:.0f},{d.y2:.0f}); VIP vest at "
+              f"({v.x1:.0f},{v.y1:.0f})-({v.x2:.0f},{v.y2:.0f})")
+
+    scan = simulate_lidar_scan(frame, LidarConfig(),
+                               make_rng(SEED, "lidar"))
+    obstacles = scan_obstacles(scan)
+    print(f"LiDAR sweep: {int(scan.valid.sum())}/{len(scan.ranges_m)} "
+          f"returns; nearest {scan.min_range():.1f} m; "
+          f"{len(obstacles)} segmented obstacles")
+    for ob in obstacles[:4]:
+        print(f"  obstacle at {np.rad2deg(ob.bearing_rad):+.0f} deg, "
+              f"{ob.range_m:.1f} m ({ob.width_beams} beams)")
+
+
+def adaptive_demo() -> None:
+    print("\n--- Adaptive edge-cloud deployment ---")
+    policy = AdaptivePolicy(target_fps=10.0)
+    arms = default_arms()
+    print("Arm ladder (accuracy-ordered):")
+    dep = AdaptiveDeployment(arms, policy, seed=SEED)
+    for arm in dep.controller.arms:
+        print(f"  {arm.name:35s} expected "
+              f"{dep.controller.expected_ms[arm.name]:6.1f} ms, "
+              f"acc {100 * dep.controller.accuracy[arm.name]:.2f}%")
+
+    print("\nScenario: network degrades at frame 200 (drone leaves "
+          "base-station range)")
+    report = dep.run(n_frames=600, network_degradation_at=200)
+    for s in report.switches[:5]:
+        print(f"  frame {s['frame']:4d}: {s['direction']:4s} "
+              f"{s['from']} -> {s['to']} (late={s['late_frac']:.2f})")
+    if len(report.switches) > 5:
+        print(f"  … {len(report.switches) - 5} more switches "
+              "(recovery probes)")
+
+    rows = []
+    for label, kwargs in (
+            ("adaptive", {}),
+            ("static offboard", {"arms": [arms[0]]}),
+            ("static onboard nano", {"arms": [a for a in arms
+                                              if not a.offboard][-1:]})):
+        d = AdaptiveDeployment(kwargs.get("arms", arms), policy,
+                               seed=SEED)
+        r = d.run(n_frames=600, network_degradation_at=200)
+        rows.append([label, f"{100 * r.violation_rate:.1f}%",
+                     f"{100 * r.accuracy_weighted:.2f}",
+                     len(r.switches)])
+    print()
+    print(markdown_table(
+        ["Strategy", "Deadline violations", "Mean expected acc (%)",
+         "Switches"], rows))
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Future-work extensions: multi-modal sensing + adaptive "
+          "deployment")
+    print("=" * 70)
+    multimodal_demo()
+    adaptive_demo()
+
+
+if __name__ == "__main__":
+    main()

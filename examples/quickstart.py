@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Quickstart: the Ocularone-Bench suite in five minutes.
+
+Walks the whole public API end to end:
+
+1. build a (scaled) Ocularone dataset and print its Table 1 summary;
+2. train an executable mini YOLOv8-n on rendered frames (the paper's
+   §3.1 protocol at mini scale) and evaluate VIP-detection accuracy;
+3. query the full-scale accuracy surrogate and latency model for the
+   paper's headline numbers;
+4. run a couple of the registered table/figure experiments.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (DatasetBuilder, LatencyEstimator, OcularoneBench,
+                   AccuracySurrogate, SurrogateQuery, build_mini_model)
+from repro.dataset.sampling import paper_protocol_split, \
+    split_test_by_difficulty
+from repro.io.report import markdown_table, series_block
+from repro.models.yolo.train import DetectorTrainer, frames_to_arrays
+from repro.train.eval import evaluate_detector_on_frames
+
+SEED = 7
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Ocularone-Bench quickstart")
+    print("=" * 70)
+
+    # ------------------------------------------------------------------
+    # 1. Dataset (Table 1 at 1.5 % scale; counts scale proportionally).
+    # ------------------------------------------------------------------
+    builder = DatasetBuilder(seed=SEED, image_size=64)
+    index = builder.build_scaled(0.02)
+    print(f"\nDataset index: {len(index)} records across "
+          f"{len(index.category_counts())} Table-1 strata")
+    # At mini scale we sample a larger fraction per stratum than the
+    # paper's 12.6 % so the detector sees enough examples to converge.
+    split = paper_protocol_split(index, sample_fraction=0.4)
+    print(f"Protocol split (train/val/test): {split.sizes()}")
+
+    # ------------------------------------------------------------------
+    # 2. Train a mini detector with the paper's protocol shape.
+    # ------------------------------------------------------------------
+    print("\nTraining mini YOLOv8-n (30 epochs, stride-8 grid head)…")
+    train_frames = builder.render_records(split.train.records)
+    val_frames = builder.render_records(split.val.records)
+    images, boxes = frames_to_arrays(train_frames)
+    val_images, val_boxes = frames_to_arrays(val_frames)
+
+    model = build_mini_model("yolov8-n", seed=SEED)
+    trainer = DetectorTrainer(model, epochs=30, batch_size=16,
+                              seed=SEED)
+    history = trainer.fit(images, boxes, val_images, val_boxes)
+    print(f"  loss: {history.losses[0]:.3f} -> "
+          f"{history.final_loss:.3f} over {history.epochs_run} epochs")
+
+    diverse, adversarial = split_test_by_difficulty(split.test)
+    res_div = evaluate_detector_on_frames(
+        model, builder.render_records(diverse.records[:120]))
+    res_adv = evaluate_detector_on_frames(
+        model, builder.render_records(adversarial.records[:60]))
+    print(f"  diverse accuracy:     {100 * res_div.accuracy:.1f}% "
+          f"(tp={res_div.counts.tp}, fp={res_div.counts.fp}, "
+          f"fn={res_div.counts.fn})")
+    print(f"  adversarial accuracy: {100 * res_adv.accuracy:.1f}%  "
+          "(harder, as in Fig. 4)")
+
+    # ------------------------------------------------------------------
+    # 3. Full-scale surrogate + latency model (paper headline numbers).
+    # ------------------------------------------------------------------
+    surrogate = AccuracySurrogate()
+    est = LatencyEstimator()
+    print("\nFull-scale operating points (surrogate + roofline):")
+    models = ["yolov8-n", "yolov8-m", "yolov8-x",
+              "yolov11-n", "yolov11-m", "yolov11-x"]
+    rows = []
+    for m in models:
+        rows.append([
+            m,
+            surrogate.expected_precision_pct(
+                SurrogateQuery(m, "diverse")),
+            surrogate.expected_precision_pct(
+                SurrogateQuery(m, "adversarial")),
+            est.median_ms(m, "orin-nano"),
+            est.median_ms(m, "rtx4090"),
+        ])
+    print(markdown_table(
+        ["Model", "Diverse acc (%)", "Adversarial acc (%)",
+         "Orin Nano (ms)", "RTX 4090 (ms)"], rows))
+
+    print("\n" + series_block(
+        "YOLOv8-x across devices (paper Fig. 5/6 shape):",
+        ["orin-agx", "orin-nano", "xavier-nx", "rtx4090"],
+        [est.median_ms("yolov8-x", d)
+         for d in ("orin-agx", "orin-nano", "xavier-nx", "rtx4090")],
+        unit=" ms"))
+
+    # ------------------------------------------------------------------
+    # 4. Registered experiments (every table/figure is one call away).
+    # ------------------------------------------------------------------
+    bench = OcularoneBench()
+    for eid in ("fig1", "fig3"):
+        result = bench.run_experiment(eid)
+        print("\n" + result.to_markdown())
+
+    print("\nDone.  See benchmarks/ for the full table/figure suite.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Ocularone-Bench reproduction.
+
+A from-scratch Python implementation of *Ocularone-Bench: Benchmarking
+DNN Models on GPUs to Assist the Visually Impaired* (IPPS 2025): the
+curated hazard-vest dataset (synthetic substitute), retrained YOLO-style
+detectors plus pose/depth situation-awareness models (executable NumPy
+minis + full-scale descriptors), Jetson/workstation device models with a
+calibrated roofline latency simulator, and a benchmark harness that
+regenerates every table and figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import OcularoneBench
+    bench = OcularoneBench()
+    print(bench.run_all().to_markdown())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from .config import ReproConfig, TrainConfig, MiniScale, default_config
+from .errors import (
+    ReproError,
+    ConfigError,
+    DatasetError,
+    AnnotationError,
+    ModelError,
+    ShapeError,
+    TrainingError,
+    HardwareError,
+    CalibrationError,
+    BenchmarkError,
+    SerializationError,
+)
+from .core.suite import OcularoneBench, SuiteReport
+from .core.tradeoff import accuracy_latency_tradeoff, pareto_front
+from .core.deployment import DeploymentAdvisor, PlacementConstraints
+from .core.pipeline import VipPipeline, PipelineConfig
+from .dataset import DatasetBuilder, TABLE1_COUNTS, TOTAL_IMAGES
+from .hardware import DEVICE_REGISTRY, device_spec
+from .latency import LatencyEstimator, SimulatedRuntime
+from .models import PAPER_MODELS, model_spec, build_mini_model
+from .train import AccuracySurrogate, SurrogateQuery, RetrainProtocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ReproConfig", "TrainConfig", "MiniScale", "default_config",
+    # errors
+    "ReproError", "ConfigError", "DatasetError", "AnnotationError",
+    "ModelError", "ShapeError", "TrainingError", "HardwareError",
+    "CalibrationError", "BenchmarkError", "SerializationError",
+    # core API
+    "OcularoneBench", "SuiteReport",
+    "accuracy_latency_tradeoff", "pareto_front",
+    "DeploymentAdvisor", "PlacementConstraints",
+    "VipPipeline", "PipelineConfig",
+    # subsystems
+    "DatasetBuilder", "TABLE1_COUNTS", "TOTAL_IMAGES",
+    "DEVICE_REGISTRY", "device_spec",
+    "LatencyEstimator", "SimulatedRuntime",
+    "PAPER_MODELS", "model_spec", "build_mini_model",
+    "AccuracySurrogate", "SurrogateQuery", "RetrainProtocol",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: stats, runner, parallel fan-out, experiments."""
+
+from .stats import summarize_samples, SampleSummary, bootstrap_ci
+from .runner import ExperimentRunner, ExperimentResult
+from .parallel import parallel_map
+from .experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    experiment_ids,
+)
+
+__all__ = [
+    "summarize_samples", "SampleSummary", "bootstrap_ci",
+    "ExperimentRunner", "ExperimentResult",
+    "parallel_map",
+    "EXPERIMENTS", "run_experiment", "experiment_ids",
+]

@@ -1,0 +1,88 @@
+"""Ablation: adaptive edge-cloud deployment vs static placements.
+
+The paper's future work asks for "accuracy-aware adaptive deployment
+strategies for seamless execution across edge-cloud environments".  This
+experiment runs the implemented controller against the two static
+baselines on the same scenario — a 10 FPS stream whose network degrades
+mid-run (drone leaves base-station range):
+
+* **static-offboard** (most accurate arm, YOLOv11-m on the
+  workstation): perfect until the degradation, then violates its
+  deadline on most frames;
+* **static-onboard** (fastest arm, nano on Orin Nano): never violates
+  but gives up accuracy all the time;
+* **adaptive**: starts accurate, sheds to on-board arms when the
+  network degrades, periodically probes for recovery.
+
+Expected dominance structure: adaptive violates far less than
+static-offboard and is more accurate (frame-weighted expected accuracy)
+than static-onboard.
+"""
+
+from __future__ import annotations
+
+from ...core.adaptive import (AdaptiveArm, AdaptiveDeployment,
+                              AdaptivePolicy, default_arms)
+from ..runner import ExperimentResult
+
+
+def _static(arm: AdaptiveArm, n_frames: int, degrade_at: int,
+            seed: int) -> dict:
+    dep = AdaptiveDeployment([arm], AdaptivePolicy(target_fps=10.0),
+                             seed=seed)
+    return dep.run(n_frames=n_frames,
+                   network_degradation_at=degrade_at).summary()
+
+
+def run(seed: int = 7, n_frames: int = 600,
+        degrade_at: int = 200) -> ExperimentResult:
+    policy = AdaptivePolicy(target_fps=10.0)
+    arms = default_arms()
+
+    adaptive = AdaptiveDeployment(arms, policy, seed=seed).run(
+        n_frames=n_frames, network_degradation_at=degrade_at).summary()
+    offboard = _static(arms[0], n_frames, degrade_at, seed)
+    onboard = _static(
+        AdaptiveArm("yolov8-n", "orin-nano"), n_frames, degrade_at,
+        seed)
+
+    rows = []
+    for name, s in (("static-offboard (yolov11-m@rtx4090)", offboard),
+                    ("static-onboard (yolov8-n@orin-nano)", onboard),
+                    ("adaptive", adaptive)):
+        rows.append([name, s["violation_rate"],
+                     s["mean_expected_accuracy"] * 100.0,
+                     s["switches"]])
+
+    claims = {
+        "static-offboard collapses after network degradation":
+            offboard["violation_rate"] > 0.4,
+        "static-onboard never violates":
+            onboard["violation_rate"] < 0.02,
+        "adaptive violates far less than static-offboard":
+            adaptive["violation_rate"]
+            < 0.5 * offboard["violation_rate"],
+        "adaptive is more accurate than static-onboard":
+            adaptive["mean_expected_accuracy"]
+            > onboard["mean_expected_accuracy"],
+        "adaptive actually adapts (switches occur)":
+            adaptive["switches"] >= 2,
+        "controller holds the accurate arm before degradation":
+            adaptive["frames_per_arm"].get(
+                "yolov11-m@rtx4090[offboard]", 0) >= degrade_at,
+    }
+    return ExperimentResult(
+        experiment_id="ablation_adaptive",
+        title="Ablation: adaptive vs static edge-cloud deployment",
+        headers=["Strategy", "Deadline-violation rate",
+                 "Mean expected accuracy (%)", "Switches"],
+        rows=rows,
+        claims=claims,
+        paper_reference={"adaptive_beats_static": 1.0},
+        measured={"adaptive_beats_static":
+                  1.0 if (adaptive["violation_rate"]
+                          < 0.5 * offboard["violation_rate"]
+                          and adaptive["mean_expected_accuracy"]
+                          > onboard["mean_expected_accuracy"])
+                  else 0.0},
+    )

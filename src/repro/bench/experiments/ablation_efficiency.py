@@ -1,0 +1,84 @@
+"""Ablation: energy, cost and multi-stream serving efficiency.
+
+Table 3 carries power and price columns the paper never exploits; this
+ablation turns them into deployment-relevant metrics:
+
+* energy per inference (mJ) per model/device — battery life on the
+  drone companion;
+* throughput per dollar — fleet-provisioning economics;
+* batched serving: how many 10 FPS drone streams one device sustains
+  (the workstation's amortisation advantage, quantified).
+
+Structure checked: edge devices win energy-per-frame on small models
+only while the workstation wins everywhere on batched throughput and
+stream count; the 4090 serves multiple drones where a Jetson serves
+one.
+"""
+
+from __future__ import annotations
+
+from ...errors import HardwareError
+from ...hardware.power import PowerModel
+from ...hardware.registry import BENCHMARK_DEVICES, device_spec
+from ...latency.batching import BatchingModel
+from ...latency.estimator import LatencyEstimator
+from ..runner import ExperimentResult
+
+MODELS = ("yolov8-n", "yolov8-m", "yolov8-x")
+
+
+def run() -> ExperimentResult:
+    est = LatencyEstimator()
+    power = PowerModel()
+    batching = BatchingModel()
+
+    rows = []
+    energy = {}
+    streams = {}
+    for device in BENCHMARK_DEVICES:
+        dspec = device_spec(device)
+        for model in MODELS:
+            latency = est.median_ms(model, device)
+            e_mj = power.energy_per_frame_mj(dspec, latency)
+            energy[(model, device)] = e_mj
+            try:
+                n_streams = batching.drones_servable(model, device,
+                                                     per_drone_fps=10.0)
+            except HardwareError:
+                n_streams = 0
+            streams[(model, device)] = n_streams
+            fps_per_dollar = (1000.0 / latency) / dspec.price_usd
+            rows.append([device, model, latency, e_mj,
+                         n_streams, 1000.0 * fps_per_dollar])
+
+    claims = {
+        # Energy: the NX burns less board power but runs so much longer
+        # per frame that the workstation's energy/frame for heavy
+        # models is comparable or better.
+        "x-large energy per frame on NX exceeds the 4090's":
+            energy[("yolov8-x", "xavier-nx")]
+            > energy[("yolov8-x", "rtx4090")],
+        "nano on a 15 W Jetson is the energy-per-frame winner":
+            min(energy[("yolov8-n", d)]
+                for d in ("xavier-nx", "orin-nano"))
+            < energy[("yolov8-n", "rtx4090")],
+        "workstation serves multiple 10 FPS drone streams (x-large)":
+            streams[("yolov8-x", "rtx4090")] >= 3,
+        "no edge device serves multiple x-large streams": all(
+            streams[("yolov8-x", d)] <= 1
+            for d in ("orin-agx", "orin-nano", "xavier-nx")),
+        "every device serves at least one nano stream": all(
+            streams[("yolov8-n", d)] >= 1 for d in BENCHMARK_DEVICES),
+    }
+    return ExperimentResult(
+        experiment_id="ablation_efficiency",
+        title="Ablation: energy, cost and multi-stream serving",
+        headers=["Device", "Model", "Latency (ms)",
+                 "Energy/frame (mJ)", "10FPS streams served",
+                 "mFPS per USD"],
+        rows=rows,
+        claims=claims,
+        paper_reference={"workstation_streams_xlarge": 3.0},
+        measured={"workstation_streams_xlarge":
+                  float(streams[("yolov8-x", "rtx4090")])},
+    )

@@ -1,0 +1,154 @@
+"""Ablation: adversarial-corruption severity sweep on mini detectors.
+
+Fig. 4's mechanism, demonstrated live: a trained mini detector is
+evaluated on the same clean scenes corrupted at increasing severity, per
+corruption kind.  Accuracy must degrade monotonically-ish with severity,
+and degrade *faster* for the nano variant than for a larger one — the
+capacity-buys-robustness effect.
+
+This experiment trains two mini models, so it is registered as *slow*;
+the fast path (surrogate-based Fig. 4) covers the full-scale claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...dataset.builder import DatasetBuilder
+from ...image.augment import AdversarialKind, AugmentConfig, \
+    apply_adversarial
+from ...models.registry import build_mini_model
+from ...models.yolo.train import DetectorTrainer, frames_to_arrays
+from ...rng import make_rng
+from ...train.eval import evaluate_vip_detection
+from ...models.yolo.postprocess import decode_predictions
+from ..runner import ExperimentResult
+
+SEVERITIES = (0.0, 0.4, 0.8)
+KINDS = (AdversarialKind.LOW_LIGHT, AdversarialKind.BLUR)
+
+
+def _eval_at(model, frames, kind, severity, seed) -> float:
+    rng = make_rng(seed, "severity-eval", kind.value, int(severity * 10))
+    images: List[np.ndarray] = []
+    truth = []
+    for f in frames:
+        img, boxes = f.image, list(f.vest_boxes)
+        if severity > 0:
+            img, boxes = apply_adversarial(
+                img, boxes, kind, AugmentConfig(severity=severity), rng)
+        if img.shape[:2] != (64, 64):
+            from ...image.ops import resize_bilinear
+            sy = 64 / img.shape[0]
+            sx = 64 / img.shape[1]
+            img = resize_bilinear(img, 64, 64)
+            boxes = [b.scaled(sx, sy) for b in boxes]
+        images.append(img.transpose(2, 0, 1))
+        truth.append(boxes)
+    batch = np.stack(images).astype(np.float32)
+    raw = model.forward(batch, training=False)
+    scores, pboxes = model.decode(raw)
+    dets = decode_predictions(scores, pboxes, 64, conf_threshold=0.4)
+    res = evaluate_vip_detection(dets, truth, iou_threshold=0.35,
+                                 conf_threshold=0.4)
+    return 100.0 * res.accuracy
+
+
+def _augmented_training_set(frames, seed):
+    """Clean frames + mildly corrupted copies.
+
+    Mirrors the paper's protocol: the stratified training sample
+    *includes* adversarial-stratum images, which is what lets larger
+    models spend their capacity on robustness (§4.2.2).
+    """
+    rng = make_rng(seed, "severity-train-aug")
+    images: List[np.ndarray] = []
+    boxes = []
+    for f in frames:
+        images.append(f.image.transpose(2, 0, 1))
+        boxes.append(list(f.vest_boxes))
+        kind = KINDS[int(rng.integers(0, len(KINDS)))]
+        sev = float(rng.uniform(0.2, 0.7))
+        img, bxs = apply_adversarial(f.image, list(f.vest_boxes), kind,
+                                     AugmentConfig(severity=sev), rng)
+        if img.shape[:2] == f.image.shape[:2]:
+            images.append(img.transpose(2, 0, 1))
+            boxes.append(bxs)
+    return np.stack(images).astype(np.float32), boxes
+
+
+def run(seed: int = 7, train_images: int = 160,
+        eval_images: int = 80, epochs: int = 25) -> ExperimentResult:
+    builder = DatasetBuilder(seed=seed, image_size=64)
+    index = builder.build_scaled(0.012)
+    clean = [r for r in index
+             if r.subcategory_key != "adversarial/all"]
+    train_frames = builder.render_records(clean[:train_images])
+    eval_frames = builder.render_records(
+        clean[train_images:train_images + eval_images])
+    images, boxes = _augmented_training_set(train_frames, seed)
+
+    accs: Dict[str, Dict[float, float]] = {}
+    for variant in ("yolov8-n", "yolov8-m"):
+        model = build_mini_model(variant, seed=seed)
+        DetectorTrainer(model, epochs=epochs, seed=seed).fit(images,
+                                                             boxes)
+        accs[variant] = {}
+        for kind in KINDS:
+            for sev in SEVERITIES:
+                key = sev if kind is KINDS[0] else sev + 100
+                accs[variant][key] = _eval_at(model, eval_frames, kind,
+                                              sev, seed)
+
+    rows = []
+    for variant, table in accs.items():
+        for kind in KINDS:
+            for sev in SEVERITIES:
+                key = sev if kind is KINDS[0] else sev + 100
+                rows.append([variant, kind.value, sev, table[key]])
+
+    def retained(variant: str) -> float:
+        """Mean fraction of clean accuracy kept at moderate severity."""
+        r = []
+        for kind in KINDS:
+            off = 0.0 if kind is KINDS[0] else 100.0
+            clean = max(accs[variant][off], 1e-9)
+            r.append(accs[variant][SEVERITIES[1] + off] / clean)
+        return float(np.mean(r))
+
+    claims = {
+        # The medium model is the better detector to begin with …
+        "medium clean accuracy >= 85%": all(
+            accs["yolov8-m"][off] >= 85.0 for off in (0.0, 100.0)),
+        "nano clean accuracy >= 55%": all(
+            accs["yolov8-n"][off] >= 55.0 for off in (0.0, 100.0)),
+        # … severity hurts …
+        "severity degrades accuracy (both variants)": all(
+            accs[v][SEVERITIES[-1] + off] <= accs[v][off] + 2.0
+            for v in accs for off in (0.0, 100.0)),
+        # … and capacity buys robustness (Fig. 4's mechanism): the
+        # medium model keeps a larger fraction of its clean accuracy
+        # under moderate corruption and dominates up to moderate
+        # severity.  (At the harshest setting — 15 % brightness — both
+        # models are far outside the training distribution and the
+        # comparison is noise-dominated, so it is reported but not
+        # asserted.)
+        "medium outperforms nano up to moderate severity": all(
+            accs["yolov8-m"][s + off] >= accs["yolov8-n"][s + off] - 2.0
+            for s in SEVERITIES[:2] for off in (0.0, 100.0)),
+        "medium retains more accuracy at moderate severity":
+            retained("yolov8-m") >= retained("yolov8-n") - 0.05,
+    }
+    return ExperimentResult(
+        experiment_id="ablation_severity",
+        title="Ablation: corruption-severity sweep on mini detectors",
+        headers=["Model", "Corruption", "Severity", "Accuracy (%)"],
+        rows=rows,
+        claims=claims,
+        paper_reference={"fig4_trend_holds": 1.0},
+        measured={"fig4_trend_holds":
+                  1.0 if retained("yolov8-m")
+                  >= retained("yolov8-n") - 0.05 else 0.0},
+    )

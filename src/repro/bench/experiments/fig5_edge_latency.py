@@ -1,0 +1,96 @@
+"""Fig. 5 reproduction: inference times on the Jetson edge accelerators.
+
+Four panels in the paper: (a) YOLOv8 sizes, (b) YOLOv11 sizes,
+(c) BodyPose, (d) Monodepth2 — each a per-frame latency distribution on
+o-agx / o-nano / nx over ~1,000 frames.  Claims checked (§4.2.3):
+
+* fastest on Orin AGX, then Orin Nano, NX slowest;
+* YOLO nano/medium ≤200 ms and x-large ≤500 ms on the Orin-class
+  boards; on NX only nano stays within 200 ms and x-large reaches
+  ≈989 ms;
+* BodyPose medians within 28–47 ms; Monodepth2 within ≈75–232 ms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...hardware.registry import EDGE_DEVICE_ORDER
+from ...latency.runtime import SimulatedRuntime
+from ...models.spec import ALL_MODEL_ORDER
+from ..runner import ExperimentResult
+
+#: Display order matching the figure's device abbreviations.
+_DEVICE_LABELS = {"orin-agx": "o-agx", "orin-nano": "o-nano",
+                  "xavier-nx": "nx"}
+
+
+def run(seed: int = 7, n_frames: int = 1000) -> ExperimentResult:
+    runtime = SimulatedRuntime()
+    grid = runtime.run_grid(ALL_MODEL_ORDER, EDGE_DEVICE_ORDER,
+                            n_frames=n_frames)
+
+    rows = []
+    medians: Dict[str, Dict[str, float]] = {}
+    for dev in EDGE_DEVICE_ORDER:
+        medians[dev] = {}
+        for model in ALL_MODEL_ORDER:
+            run_ = grid[dev][model]
+            medians[dev][model] = run_.median_ms
+            rows.append([_DEVICE_LABELS[dev], model, run_.median_ms,
+                         run_.p95_ms, run_.max_ms])
+
+    yolo = [m for m in ALL_MODEL_ORDER if m.startswith("yolov")]
+    claims = {
+        "device ordering AGX < Orin Nano < NX for every model": all(
+            medians["orin-agx"][m] < medians["orin-nano"][m]
+            < medians["xavier-nx"][m] for m in yolo),
+        "nano and medium <= 200 ms on Orin-class devices": all(
+            medians[d][m] <= 200.0
+            for d in ("orin-agx", "orin-nano")
+            for m in yolo if not m.endswith("-x")),
+        "x-large <= 500 ms on Orin-class devices": all(
+            medians[d][m] <= 500.0
+            for d in ("orin-agx", "orin-nano")
+            for m in yolo if m.endswith("-x")),
+        "on NX only nano stays within 200 ms": all(
+            medians["xavier-nx"][m] <= 200.0 for m in
+            ("yolov8-n", "yolov11-n")) and all(
+            medians["xavier-nx"][m] > 200.0 for m in
+            ("yolov8-m", "yolov8-x", "yolov11-m", "yolov11-x")),
+        "NX x-large reaches ~989 ms":
+            900.0 <= medians["xavier-nx"]["yolov8-x"] <= 1050.0,
+        "BodyPose medians within 28-47 ms band": all(
+            26.0 <= medians[d]["trt_pose"] <= 48.0
+            for d in EDGE_DEVICE_ORDER),
+        "Monodepth2 medians within ~75-232 ms band": all(
+            60.0 <= medians[d]["monodepth2"] <= 240.0
+            for d in EDGE_DEVICE_ORDER),
+        "Monodepth2 slower than BodyPose on every device": all(
+            medians[d]["monodepth2"] > medians[d]["trt_pose"]
+            for d in EDGE_DEVICE_ORDER),
+    }
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Fig. 5: Inference times on Jetson edge accelerators (ms)",
+        headers=["Device", "Model", "Median (ms)", "p95 (ms)",
+                 "Max (ms)"],
+        rows=rows,
+        claims=claims,
+        paper_reference={"nx_yolov8x_max_ms": 989.0,
+                         "bodypose_band_lo": 28.0,
+                         "bodypose_band_hi": 47.0,
+                         "monodepth2_band_lo": 75.0,
+                         "monodepth2_band_hi": 232.0},
+        measured={
+            "nx_yolov8x_max_ms": medians["xavier-nx"]["yolov8-x"],
+            "bodypose_band_lo": min(medians[d]["trt_pose"]
+                                    for d in EDGE_DEVICE_ORDER),
+            "bodypose_band_hi": max(medians[d]["trt_pose"]
+                                    for d in EDGE_DEVICE_ORDER),
+            "monodepth2_band_lo": min(medians[d]["monodepth2"]
+                                      for d in EDGE_DEVICE_ORDER),
+            "monodepth2_band_hi": max(medians[d]["monodepth2"]
+                                      for d in EDGE_DEVICE_ORDER),
+        },
+    )

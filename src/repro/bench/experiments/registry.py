@@ -1,0 +1,75 @@
+"""Experiment registry: table/figure ids → runnable experiments.
+
+``FAST_EXPERIMENTS`` complete in seconds (surrogate/roofline based);
+``SLOW_EXPERIMENTS`` train mini models live.  ``run_experiment`` is the
+single entry point used by the suite facade, the pytest benchmarks and
+the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...errors import BenchmarkError
+from ..runner import ExperimentResult, ExperimentRunner
+from . import (ablation_adaptive, ablation_calibration,
+               ablation_deployment, ablation_efficiency,
+               ablation_fleet, ablation_multimodal,
+               ablation_percategory, ablation_pipeline,
+               ablation_precision, ablation_sampling,
+               ablation_severity, ablation_strata, fig1_curation,
+               fig2_gallery, fig3_diverse,
+               fig4_adversarial, fig5_edge_latency, fig6_workstation,
+               table1_dataset, table2_models, table3_devices)
+
+#: Experiments that run in seconds.
+FAST_EXPERIMENTS: Dict[str, object] = {
+    "table1": table1_dataset.run,
+    "table2": table2_models.run,
+    "table3": table3_devices.run,
+    "fig1": fig1_curation.run,
+    "fig2": fig2_gallery.run,
+    "fig3": fig3_diverse.run,
+    "fig4": fig4_adversarial.run,
+    "fig5": fig5_edge_latency.run,
+    "fig6": fig6_workstation.run,
+    "ablation_sampling": ablation_sampling.run,
+    "ablation_calibration": ablation_calibration.run,
+    "ablation_deployment": ablation_deployment.run,
+    "ablation_pipeline": ablation_pipeline.run,
+    "ablation_adaptive": ablation_adaptive.run,
+    "ablation_efficiency": ablation_efficiency.run,
+    "ablation_precision": ablation_precision.run,
+    "ablation_fleet": ablation_fleet.run,
+    "ablation_strata": ablation_strata.run,
+}
+
+#: Experiments that train mini models (minutes).
+SLOW_EXPERIMENTS: Dict[str, object] = {
+    "ablation_severity": ablation_severity.run,
+    "ablation_multimodal": ablation_multimodal.run,
+    "ablation_percategory": ablation_percategory.run,
+}
+
+#: Everything.
+EXPERIMENTS: Dict[str, object] = {**FAST_EXPERIMENTS,
+                                  **SLOW_EXPERIMENTS}
+
+_RUNNER = ExperimentRunner(EXPERIMENTS)
+
+
+def experiment_ids(include_slow: bool = True) -> List[str]:
+    """Registered experiment ids (sorted)."""
+    src = EXPERIMENTS if include_slow else FAST_EXPERIMENTS
+    return sorted(src)
+
+
+def run_experiment(experiment_id: str, *, enforce_claims: bool = True,
+                   **kwargs) -> ExperimentResult:
+    """Run one experiment by id; raises on failed paper claims."""
+    if experiment_id not in EXPERIMENTS:
+        raise BenchmarkError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{experiment_ids()}")
+    return _RUNNER.run(experiment_id, enforce_claims=enforce_claims,
+                       **kwargs)

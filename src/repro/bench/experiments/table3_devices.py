@@ -1,0 +1,68 @@
+"""Table 3 reproduction: Jetson edge-device specifications.
+
+Prints the device table and checks the spec relations §4.2.3 reasons
+from: AGX has the most CUDA cores, NX the fewest; the fitted effective
+throughputs preserve that ordering; Ampere boards beat the Volta board
+per core.
+"""
+
+from __future__ import annotations
+
+from ...hardware.device import GpuArchitecture
+from ...hardware.registry import DEVICE_REGISTRY, EDGE_DEVICE_ORDER
+from ..runner import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in EDGE_DEVICE_ORDER:
+        d = DEVICE_REGISTRY[name]
+        rows.append([
+            d.display_name, d.gpu_architecture.value,
+            f"{d.cuda_cores}/{d.tensor_cores}", f"{d.ram_gb:g}",
+            d.jetpack_version, d.cuda_version, d.peak_power_w,
+            "x".join(str(v) for v in d.form_factor_mm),
+            d.weight_g, d.price_usd,
+        ])
+
+    agx = DEVICE_REGISTRY["orin-agx"]
+    nx = DEVICE_REGISTRY["xavier-nx"]
+    nano = DEVICE_REGISTRY["orin-nano"]
+    wk = DEVICE_REGISTRY["rtx4090"]
+
+    claims = {
+        "AGX has most CUDA cores (2048), NX fewest (384)":
+            agx.cuda_cores == 2048 and nx.cuda_cores == 384
+            and nano.cuda_cores == 1024,
+        "workstation has ~8x the CUDA cores of Orin AGX":
+            7.5 <= wk.cuda_cores / agx.cuda_cores <= 8.5,
+        "effective throughput ordered AGX > Orin Nano > NX":
+            agx.effective_tflops > nano.effective_tflops
+            > nx.effective_tflops,
+        "both Ampere boards outperform the Volta board overall":
+            min(agx.effective_tflops, nano.effective_tflops)
+            > nx.effective_tflops,
+        "NX cheapest, AGX most expensive of the Jetsons":
+            nx.price_usd < nano.price_usd < agx.price_usd,
+        "Orin-class peak power matches Table 3 (60/15/15 W)":
+            (agx.peak_power_w, nx.peak_power_w, nano.peak_power_w)
+            == (60, 15, 15),
+        "paper labels all benchmarked GPUs Volta/Ampere": all(
+            DEVICE_REGISTRY[n].gpu_architecture in
+            (GpuArchitecture.VOLTA, GpuArchitecture.AMPERE)
+            for n in EDGE_DEVICE_ORDER + ("rtx4090",)),
+    }
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Table 3: NVIDIA Jetson edge-device specifications",
+        headers=["Device", "GPU arch", "CUDA/Tensor cores", "RAM (GB)",
+                 "JetPack", "CUDA", "Peak power (W)",
+                 "Form factor (mm)", "Weight (g)", "Price (USD)"],
+        rows=rows,
+        claims=claims,
+        paper_reference={"agx_cores": 2048, "nx_cores": 384,
+                         "nano_cores": 1024},
+        measured={"agx_cores": float(agx.cuda_cores),
+                  "nx_cores": float(nx.cuda_cores),
+                  "nano_cores": float(nano.cuda_cores)},
+    )

@@ -1,0 +1,86 @@
+"""Process-pool fan-out for embarrassingly parallel benchmark grids.
+
+The latency figures sweep 8 models × 4 devices and the accuracy figures
+train/evaluate 6 variants — independent work items.  ``parallel_map``
+fans them out over a process pool (NumPy releases the GIL inside BLAS,
+but the renderer and training loop are Python-heavy, so processes beat
+threads), falling back to serial execution for small inputs or when the
+platform lacks working multiprocessing.
+
+Work functions must be module-level picklable callables; per-item seeds
+should come from :func:`repro.rng.spawn_rngs` so results are identical
+regardless of scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import BenchmarkError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many items the pool costs more than it saves.
+MIN_PARALLEL_ITEMS = 4
+
+
+def default_workers() -> int:
+    """Worker count: physical-ish core count, capped for memory."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus - 1, 8))
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 workers: Optional[int] = None,
+                 force_serial: bool = False) -> List[R]:
+    """Order-preserving map over a process pool with serial fallback.
+
+    Results arrive in input order regardless of completion order.  Any
+    worker exception propagates (wrapped in :class:`BenchmarkError` with
+    the failing item's index) — partial silent results are never
+    returned.
+    """
+    items = list(items)
+    if not items:
+        return []
+    n_workers = workers if workers is not None else default_workers()
+    if n_workers < 1:
+        raise BenchmarkError(f"workers must be >= 1, got {n_workers}")
+    if force_serial or n_workers == 1 or len(items) < MIN_PARALLEL_ITEMS:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            out: List[R] = []
+            for i, fut in enumerate(futures):
+                try:
+                    out.append(fut.result())
+                except Exception as exc:  # noqa: BLE001 — re-raise typed
+                    raise BenchmarkError(
+                        f"parallel_map item {i} failed: {exc}") from exc
+            return out
+    except (OSError, ImportError):
+        # Constrained environment (no /dev/shm, sandboxed fork): degrade
+        # gracefully to serial execution with identical results.
+        return [fn(item) for item in items]
+
+
+def chunked(seq: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split a sequence into ``n_chunks`` contiguous, balanced chunks."""
+    if n_chunks < 1:
+        raise BenchmarkError(f"n_chunks must be >= 1, got {n_chunks}")
+    items = list(seq)
+    if not items:
+        return []
+    n_chunks = min(n_chunks, len(items))
+    base, extra = divmod(len(items), n_chunks)
+    out: List[List[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start:start + size])
+        start += size
+    return out

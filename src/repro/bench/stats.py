@@ -1,0 +1,89 @@
+"""Summary statistics for benchmark sample vectors.
+
+Median/percentiles for latency distributions (matching the box plots in
+Figs. 5/6) plus a bootstrap confidence interval used by the harness to
+flag unstable measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import BenchmarkError
+from ..rng import coerce_rng
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Distribution summary of one benchmark sample vector."""
+
+    n: int
+    median: float
+    mean: float
+    std: float
+    p5: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n, "median": self.median, "mean": self.mean,
+            "std": self.std, "p5": self.p5, "p95": self.p95,
+            "p99": self.p99, "min": self.minimum, "max": self.maximum,
+        }
+
+
+def summarize_samples(samples: np.ndarray) -> SampleSummary:
+    """Compute the standard summary of a 1-D sample vector."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or len(arr) == 0:
+        raise BenchmarkError(f"need a non-empty 1-D vector, got "
+                             f"shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise BenchmarkError("non-finite values in samples")
+    return SampleSummary(
+        n=len(arr),
+        median=float(np.median(arr)),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr)),
+        p5=float(np.percentile(arr, 5)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+    )
+
+
+def bootstrap_ci(samples: np.ndarray, statistic=np.median,
+                 confidence: float = 0.95, n_resamples: int = 500,
+                 rng=None) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Vectorised: all resamples are drawn as one ``(R, N)`` index matrix
+    and reduced along axis 1 — no Python-level resampling loop.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or len(arr) < 2:
+        raise BenchmarkError("bootstrap needs at least two samples")
+    if not 0.5 < confidence < 1.0:
+        raise BenchmarkError(
+            f"confidence must be in (0.5, 1), got {confidence}")
+    gen = coerce_rng(rng, "bootstrap")
+    idx = gen.integers(0, len(arr), size=(n_resamples, len(arr)))
+    stats = statistic(arr[idx], axis=1)
+    alpha = 100.0 * (1.0 - confidence) / 2.0
+    return (float(np.percentile(stats, alpha)),
+            float(np.percentile(stats, 100.0 - alpha)))
+
+
+def relative_spread(samples: np.ndarray) -> float:
+    """(p95 − p5) / median — the harness's stability indicator."""
+    s = summarize_samples(samples)
+    if s.median == 0:
+        raise BenchmarkError("zero median in relative_spread")
+    return (s.p95 - s.p5) / s.median

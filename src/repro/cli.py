@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — registered experiments (tables, figures, ablations);
+* ``run <experiment-id> [...]`` — run experiments and print their
+  markdown reports (claims are enforced unless ``--no-enforce``);
+* ``report`` — run every fast experiment and print the consolidated
+  paper-vs-measured report (what EXPERIMENTS.md is generated from);
+* ``latency <model> <device>`` — one latency estimate with its
+  roofline decomposition;
+* ``dataset`` — Table 1 summary of the full dataset index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+
+
+def _cmd_list(_args) -> int:
+    from .bench.experiments.registry import (FAST_EXPERIMENTS,
+                                             SLOW_EXPERIMENTS)
+    print("Fast experiments (seconds):")
+    for eid in sorted(FAST_EXPERIMENTS):
+        print(f"  {eid}")
+    print("Slow experiments (train mini models):")
+    for eid in sorted(SLOW_EXPERIMENTS):
+        print(f"  {eid}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .bench.experiments.registry import run_experiment
+    failed = False
+    for eid in args.experiments:
+        result = run_experiment(eid, enforce_claims=False)
+        print(result.to_markdown())
+        print()
+        if args.enforce and not result.all_claims_hold:
+            print(f"FAILED CLAIMS in {eid}: "
+                  f"{result.failed_claims()}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+def _cmd_report(_args) -> int:
+    from .core.suite import OcularoneBench
+    report = OcularoneBench().run_all()
+    print(report.to_markdown())
+    return 0 if report.all_claims_hold else 1
+
+
+def _cmd_latency(args) -> int:
+    from .latency.estimator import LatencyEstimator
+    est = LatencyEstimator()
+    b = est.breakdown(args.model, args.device)
+    print(f"{args.model} on {args.device}:")
+    print(f"  median latency : {b.total_ms:8.2f} ms "
+          f"({1000.0 / b.total_ms:.1f} FPS)")
+    print(f"  compute        : {b.compute_ms:8.2f} ms")
+    print(f"  memory         : {b.memory_ms:8.2f} ms")
+    print(f"  host overhead  : {b.overhead_ms:8.2f} ms")
+    print(f"  post-process   : {b.postprocess_ms:8.2f} ms")
+    print(f"  bound          : "
+          f"{'compute' if b.compute_bound else 'memory'}")
+    return 0
+
+
+def _cmd_dataset(_args) -> int:
+    from .dataset.stats import dataset_summary, table1_rows
+    from .io.report import markdown_table
+    rows = [list(r) for r in table1_rows()]
+    print(markdown_table(
+        ["Category", "Sub-Category", "# annotated images"], rows))
+    summary = dataset_summary()
+    print(f"\nTotal: {summary['Total']} images")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ocularone-Bench reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run experiments by id")
+    run_p.add_argument("experiments", nargs="+",
+                       help="experiment ids (see `repro list`)")
+    run_p.add_argument("--no-enforce", dest="enforce",
+                       action="store_false", default=True,
+                       help="do not fail on violated paper claims")
+
+    sub.add_parser("report",
+                   help="run all fast experiments, print the report")
+
+    lat_p = sub.add_parser("latency",
+                           help="latency estimate for model@device")
+    lat_p.add_argument("model", help="e.g. yolov8-x")
+    lat_p.add_argument("device", help="e.g. xavier-nx")
+
+    sub.add_parser("dataset", help="print the Table 1 summary")
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "latency": _cmd_latency,
+    "dataset": _cmd_dataset,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via main()
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Core Ocularone-Bench API: suite facade, trade-off and deployment
+analysis, and the end-to-end VIP assistance pipeline."""
+
+from .suite import OcularoneBench, SuiteReport
+from .tradeoff import TradeoffPoint, accuracy_latency_tradeoff, pareto_front
+from .deployment import (
+    DeploymentAdvisor,
+    DeploymentPlan,
+    PlacementConstraints,
+)
+from .tracker import IoUTracker, Track
+from .pipeline import VipPipeline, PipelineConfig, PipelineReport
+from .alerts import Alert, AlertKind, AlertPolicy
+from .adaptive import (
+    AdaptiveArm,
+    AdaptiveController,
+    AdaptiveDeployment,
+    AdaptivePolicy,
+    default_arms,
+)
+
+__all__ = [
+    "OcularoneBench", "SuiteReport",
+    "TradeoffPoint", "accuracy_latency_tradeoff", "pareto_front",
+    "DeploymentAdvisor", "DeploymentPlan", "PlacementConstraints",
+    "IoUTracker", "Track",
+    "VipPipeline", "PipelineConfig", "PipelineReport",
+    "Alert", "AlertKind", "AlertPolicy",
+    "AdaptiveArm", "AdaptiveController", "AdaptiveDeployment",
+    "AdaptivePolicy", "default_arms",
+]

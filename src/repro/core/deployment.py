@@ -1,0 +1,136 @@
+"""Edge–cloud deployment advisor.
+
+§4.2.4 motivates "leveraging GPU cloud resources alongside
+resource-constrained edge devices … larger models with higher accuracy
+can be hosted on the workstation, and smaller models with lower accuracy
+can be hosted on edge devices" — and the paper's future work names
+"accuracy-aware adaptive deployment strategies".  This module implements
+that strategy concretely: given constraints (frame rate target, minimum
+accuracy, network round-trip for off-board execution, weight/power
+budget for the drone companion device), it selects the best placement
+per model and the best overall plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import BenchmarkError
+from ..hardware.registry import BENCHMARK_DEVICES, device_spec
+from ..latency.estimator import LatencyEstimator
+from ..models.spec import YOLO_ORDER
+from ..train.surrogate import AccuracySurrogate, SurrogateQuery
+from ..units import fps_to_period_ms
+
+
+@dataclass(frozen=True)
+class PlacementConstraints:
+    """What a deployment must satisfy."""
+
+    target_fps: float = 10.0            # extraction rate of the pipeline
+    min_accuracy_pct: float = 98.0
+    #: Added when the device is not on the drone/VIP (uplink + downlink).
+    network_rtt_ms: float = 25.0
+    #: Devices light enough to travel with the VIP kit (grams).
+    max_onboard_weight_g: float = 300.0
+    require_adversarial_robustness: bool = False
+    min_adversarial_pct: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.target_fps <= 0:
+            raise BenchmarkError("target_fps must be positive")
+        if not 0 < self.min_accuracy_pct <= 100:
+            raise BenchmarkError("min_accuracy_pct outside (0, 100]")
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One feasible placement."""
+
+    model: str
+    device: str
+    onboard: bool                    # travels with the VIP (edge) or not
+    accuracy_pct: float
+    adversarial_pct: float
+    effective_latency_ms: float      # inference + network if off-board
+    headroom_ms: float               # budget minus effective latency
+
+    @property
+    def meets_realtime(self) -> bool:
+        return self.headroom_ms >= 0
+
+
+class DeploymentAdvisor:
+    """Chooses model/device placements under constraints."""
+
+    def __init__(self, surrogate: Optional[AccuracySurrogate] = None,
+                 estimator: Optional[LatencyEstimator] = None) -> None:
+        self.surrogate = surrogate or AccuracySurrogate()
+        self.estimator = estimator or LatencyEstimator()
+
+    def _is_onboard(self, device: str,
+                    constraints: PlacementConstraints) -> bool:
+        spec = device_spec(device)
+        return (spec.is_edge and spec.weight_g is not None
+                and spec.weight_g <= constraints.max_onboard_weight_g)
+
+    def enumerate_plans(self, constraints: PlacementConstraints,
+                        models: Sequence[str] = YOLO_ORDER,
+                        devices: Sequence[str] = BENCHMARK_DEVICES
+                        ) -> List[DeploymentPlan]:
+        """All placements with their feasibility numbers (feasible or not)."""
+        budget = fps_to_period_ms(constraints.target_fps)
+        plans = []
+        for model in models:
+            acc = self.surrogate.expected_precision_pct(
+                SurrogateQuery(model, "diverse"))
+            adv = self.surrogate.expected_precision_pct(
+                SurrogateQuery(model, "adversarial"))
+            for device in devices:
+                onboard = self._is_onboard(device, constraints)
+                latency = self.estimator.median_ms(model, device)
+                if not onboard:
+                    latency += constraints.network_rtt_ms
+                plans.append(DeploymentPlan(
+                    model=model, device=device, onboard=onboard,
+                    accuracy_pct=acc, adversarial_pct=adv,
+                    effective_latency_ms=latency,
+                    headroom_ms=budget - latency))
+        return plans
+
+    def feasible_plans(self, constraints: PlacementConstraints,
+                       models: Sequence[str] = YOLO_ORDER,
+                       devices: Sequence[str] = BENCHMARK_DEVICES
+                       ) -> List[DeploymentPlan]:
+        """Placements satisfying every constraint."""
+        out = []
+        for plan in self.enumerate_plans(constraints, models, devices):
+            if not plan.meets_realtime:
+                continue
+            if plan.accuracy_pct < constraints.min_accuracy_pct:
+                continue
+            if (constraints.require_adversarial_robustness
+                    and plan.adversarial_pct
+                    < constraints.min_adversarial_pct):
+                continue
+            out.append(plan)
+        return out
+
+    def recommend(self, constraints: PlacementConstraints,
+                  models: Sequence[str] = YOLO_ORDER,
+                  devices: Sequence[str] = BENCHMARK_DEVICES
+                  ) -> DeploymentPlan:
+        """The best feasible plan: accuracy first, then headroom.
+
+        Raises :class:`BenchmarkError` when nothing satisfies the
+        constraints (the caller should relax FPS or accuracy).
+        """
+        feasible = self.feasible_plans(constraints, models, devices)
+        if not feasible:
+            raise BenchmarkError(
+                f"no feasible deployment for fps="
+                f"{constraints.target_fps}, min_acc="
+                f"{constraints.min_accuracy_pct}")
+        return max(feasible,
+                   key=lambda p: (p.accuracy_pct, p.headroom_ms))

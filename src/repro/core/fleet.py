@@ -1,0 +1,212 @@
+"""UAV-fleet inference scheduling across edge and cloud.
+
+The paper builds on "Adaptive heuristics for scheduling DNN inferencing
+on edge and cloud for personalized UAV fleets" (its reference [8]): a
+fleet of buddy drones, each with a small on-board accelerator, shares
+one GPU workstation over the network.  This module implements that
+setting as a discrete-event simulation plus three placement heuristics:
+
+* ``edge_only`` — every drone runs its own detector locally;
+* ``cloud_only`` — every frame ships to the workstation (accuracy-
+  maximal until the queue saturates);
+* ``adaptive`` — the paper-[8]-style greedy heuristic: per frame, pick
+  the placement with the highest accuracy whose *predicted completion
+  time* (device queue + execution + network) meets the deadline,
+  falling back to the fastest placement when none does.
+
+The simulation tracks per-device busy timelines (single-server FIFO
+queues), so cloud saturation emerges naturally as the fleet grows — the
+crossover the scheduler exists to manage.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import BenchmarkError
+from ..latency.estimator import LatencyEstimator
+from ..train.surrogate import AccuracySurrogate, SurrogateQuery
+from ..units import fps_to_period_ms
+
+
+class SchedulingPolicy(enum.Enum):
+    EDGE_ONLY = "edge_only"
+    CLOUD_ONLY = "cloud_only"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet composition and workload."""
+
+    num_drones: int = 4
+    frame_rate: float = 10.0
+    duration_s: float = 10.0
+    edge_device: str = "orin-nano"
+    edge_model: str = "yolov8-n"
+    cloud_device: str = "rtx4090"
+    cloud_model: str = "yolov11-m"
+    network_rtt_ms: float = 25.0
+    #: Frames later than this past their period count as violations.
+    deadline_slack: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_drones < 1:
+            raise BenchmarkError("need at least one drone")
+        if self.frame_rate <= 0 or self.duration_s <= 0:
+            raise BenchmarkError("bad workload parameters")
+        if self.network_rtt_ms < 0:
+            raise BenchmarkError("negative network RTT")
+
+    @property
+    def frames_per_drone(self) -> int:
+        return int(self.duration_s * self.frame_rate)
+
+    @property
+    def deadline_ms(self) -> float:
+        return fps_to_period_ms(self.frame_rate) * self.deadline_slack
+
+
+@dataclass
+class FleetReport:
+    """Simulation outcome."""
+
+    policy: str
+    frames: int = 0
+    deadline_violations: int = 0
+    cloud_frames: int = 0
+    edge_frames: int = 0
+    accuracy_weighted: float = 0.0
+    mean_response_ms: float = 0.0
+
+    @property
+    def violation_rate(self) -> float:
+        if self.frames == 0:
+            raise BenchmarkError("empty fleet run")
+        return self.deadline_violations / self.frames
+
+    @property
+    def cloud_fraction(self) -> float:
+        return self.cloud_frames / max(self.frames, 1)
+
+    def summary(self) -> Dict:
+        return {
+            "policy": self.policy, "frames": self.frames,
+            "violation_rate": self.violation_rate,
+            "cloud_fraction": self.cloud_fraction,
+            "mean_expected_accuracy": self.accuracy_weighted,
+            "mean_response_ms": self.mean_response_ms,
+        }
+
+
+class FleetScheduler:
+    """Discrete-event fleet simulation with pluggable placement."""
+
+    def __init__(self, config: FleetConfig = FleetConfig(),
+                 estimator: Optional[LatencyEstimator] = None,
+                 surrogate: Optional[AccuracySurrogate] = None) -> None:
+        self.config = config
+        est = estimator or LatencyEstimator()
+        sur = surrogate or AccuracySurrogate()
+        self.edge_exec_ms = est.median_ms(config.edge_model,
+                                          config.edge_device)
+        self.cloud_exec_ms = est.median_ms(config.cloud_model,
+                                           config.cloud_device)
+        self.edge_acc = sur.expected_accuracy(
+            SurrogateQuery(config.edge_model, "diverse"))
+        self.cloud_acc = sur.expected_accuracy(
+            SurrogateQuery(config.cloud_model, "diverse"))
+
+    def _arrivals(self) -> List[Tuple[float, int]]:
+        """(arrival_ms, drone_id) for every frame, time-ordered.
+
+        Drones are phase-staggered by a fraction of the period so the
+        cloud queue sees a realistic interleaving rather than perfectly
+        synchronised bursts.
+        """
+        cfg = self.config
+        period = fps_to_period_ms(cfg.frame_rate)
+        events: List[Tuple[float, int]] = []
+        for drone in range(cfg.num_drones):
+            phase = period * drone / max(cfg.num_drones, 1)
+            for i in range(cfg.frames_per_drone):
+                events.append((phase + i * period, drone))
+        events.sort()
+        return events
+
+    def run(self, policy: SchedulingPolicy) -> FleetReport:
+        """Simulate the fleet under a placement policy."""
+        cfg = self.config
+        report = FleetReport(policy=policy.value)
+        # Busy-until timelines: one per edge device, one for the cloud.
+        edge_free = [0.0] * cfg.num_drones
+        cloud_free = 0.0
+        total_response = 0.0
+
+        for arrival, drone in self._arrivals():
+            # Predicted completion for both placements.
+            edge_start = max(arrival, edge_free[drone])
+            edge_done = edge_start + self.edge_exec_ms
+            cloud_start = max(arrival + cfg.network_rtt_ms / 2.0,
+                              cloud_free)
+            cloud_done = cloud_start + self.cloud_exec_ms \
+                + cfg.network_rtt_ms / 2.0
+
+            if policy is SchedulingPolicy.EDGE_ONLY:
+                use_cloud = False
+            elif policy is SchedulingPolicy.CLOUD_ONLY:
+                use_cloud = True
+            else:
+                # Adaptive: the most accurate placement that meets the
+                # deadline; if none does, the earliest-finishing one.
+                deadline = arrival + cfg.deadline_ms
+                candidates = []
+                if cloud_done <= deadline:
+                    candidates.append((self.cloud_acc, True, cloud_done))
+                if edge_done <= deadline:
+                    candidates.append((self.edge_acc, False, edge_done))
+                if candidates:
+                    candidates.sort(key=lambda c: (-c[0], c[2]))
+                    use_cloud = candidates[0][1]
+                else:
+                    use_cloud = cloud_done < edge_done
+
+            if use_cloud:
+                done = cloud_done
+                cloud_free = cloud_start + self.cloud_exec_ms
+                report.cloud_frames += 1
+                report.accuracy_weighted += self.cloud_acc
+            else:
+                done = edge_done
+                edge_free[drone] = edge_done
+                report.edge_frames += 1
+                report.accuracy_weighted += self.edge_acc
+
+            report.frames += 1
+            response = done - arrival
+            total_response += response
+            if response > cfg.deadline_ms:
+                report.deadline_violations += 1
+
+        report.accuracy_weighted /= max(report.frames, 1)
+        report.mean_response_ms = total_response / max(report.frames, 1)
+        return report
+
+    def sweep_fleet_size(self, sizes: Sequence[int],
+                         policy: SchedulingPolicy) -> List[FleetReport]:
+        """Run the policy across fleet sizes (the saturation sweep)."""
+        out = []
+        for n in sizes:
+            cfg = FleetConfig(
+                num_drones=n, frame_rate=self.config.frame_rate,
+                duration_s=self.config.duration_s,
+                edge_device=self.config.edge_device,
+                edge_model=self.config.edge_model,
+                cloud_device=self.config.cloud_device,
+                cloud_model=self.config.cloud_model,
+                network_rtt_ms=self.config.network_rtt_ms)
+            out.append(FleetScheduler(cfg).run(policy))
+        return out

@@ -1,0 +1,144 @@
+"""Monocular range estimation of the VIP from detection geometry.
+
+The drone must keep a safe following distance.  Two range cues are
+available per frame, both implemented against the renderer's projection
+model (so they are exact up to detection noise):
+
+* **box-height ranging** — a person of known height ``H`` imaged with
+  ``h`` pixels at focal factor ``f`` stands at ``z = f·H·K/h`` (the
+  inverse of the renderer's projection);
+* **depth-map ranging** — median of the (Monodepth2-style) depth map
+  inside the detection box.
+
+``RangeFusion`` blends them inverse-variance style and tracks the
+distance over time; ``FollowController`` turns range error into a
+speed command, the minimal 'buddy drone keeps pace' control loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..dataset.renderer import PROJ_K
+from ..errors import BenchmarkError
+from ..geometry.bbox import BBox
+
+#: Assumed VIP height (m) — calibration constant of the system.
+DEFAULT_PERSON_HEIGHT_M = 1.7
+
+#: Fraction of full body height the hazard-vest *box* spans in the
+#: renderer's person model: the vest runs neck (0.82·H) to hips
+#: (0.50·H) and is drawn with a stroke ~0.22·H thick, so the annotated
+#: box covers ≈0.54·H.
+VEST_HEIGHT_FRACTION = 0.54
+
+
+def range_from_box_height(box: BBox, image_height_px: int,
+                          focal: float = 1.1,
+                          person_height_m: float =
+                          DEFAULT_PERSON_HEIGHT_M,
+                          box_is_vest: bool = True) -> float:
+    """Pinhole inverse: detection height → metric range."""
+    if image_height_px <= 0:
+        raise BenchmarkError("image height must be positive")
+    if person_height_m <= 0 or focal <= 0:
+        raise BenchmarkError("calibration constants must be positive")
+    h_px = box.height
+    if h_px <= 0:
+        raise BenchmarkError("degenerate detection height")
+    subject_height = person_height_m * (
+        VEST_HEIGHT_FRACTION if box_is_vest else 1.0)
+    # Renderer projection: h_px = focal * H / z * image_height * K.
+    return focal * subject_height * image_height_px * PROJ_K / h_px
+
+
+def range_from_depth_map(depth: np.ndarray, box: BBox) -> float:
+    """Median depth inside the detection box."""
+    h, w = depth.shape
+    x1 = int(np.clip(box.x1, 0, w - 1))
+    x2 = int(np.clip(box.x2 + 1, x1 + 1, w))
+    y1 = int(np.clip(box.y1, 0, h - 1))
+    y2 = int(np.clip(box.y2 + 1, y1 + 1, h))
+    region = depth[y1:y2, x1:x2]
+    if region.size == 0:
+        raise BenchmarkError("empty depth region")
+    return float(np.median(region))
+
+
+@dataclass
+class RangeFusion:
+    """Inverse-variance fusion + exponential smoothing of range cues.
+
+    ``sigma_box``/``sigma_depth`` are the assumed 1σ errors of the two
+    cues (box ranging degrades with small boxes; depth maps are noisy
+    at long range).  ``alpha`` is the temporal smoothing factor.
+    """
+
+    sigma_box_m: float = 0.6
+    sigma_depth_m: float = 0.4
+    alpha: float = 0.4
+    _estimate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma_box_m <= 0 or self.sigma_depth_m <= 0:
+            raise BenchmarkError("sigmas must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise BenchmarkError("alpha outside (0, 1]")
+
+    def update(self, box_range_m: Optional[float],
+               depth_range_m: Optional[float]) -> float:
+        """Fuse the available cues for one frame; returns the estimate."""
+        cues = []
+        if box_range_m is not None:
+            if box_range_m <= 0:
+                raise BenchmarkError("non-positive box range")
+            cues.append((box_range_m, self.sigma_box_m))
+        if depth_range_m is not None:
+            if depth_range_m <= 0:
+                raise BenchmarkError("non-positive depth range")
+            cues.append((depth_range_m, self.sigma_depth_m))
+        if not cues:
+            if self._estimate is None:
+                raise BenchmarkError("no cues and no prior estimate")
+            return self._estimate
+        weights = np.array([1.0 / s ** 2 for _, s in cues])
+        values = np.array([v for v, _ in cues])
+        fused = float(np.sum(weights * values) / np.sum(weights))
+        if self._estimate is None:
+            self._estimate = fused
+        else:
+            self._estimate += self.alpha * (fused - self._estimate)
+        return self._estimate
+
+    @property
+    def estimate_m(self) -> Optional[float]:
+        return self._estimate
+
+
+@dataclass
+class FollowController:
+    """Proportional follow-distance controller for the buddy drone."""
+
+    target_range_m: float = 3.0
+    gain: float = 0.8
+    max_speed_m_s: float = 2.5
+    deadband_m: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.target_range_m <= 0 or self.gain <= 0:
+            raise BenchmarkError("controller constants must be positive")
+        if self.max_speed_m_s <= 0 or self.deadband_m < 0:
+            raise BenchmarkError("bad speed/deadband")
+
+    def command(self, range_m: float) -> float:
+        """Forward-speed command (m/s): + closes, − backs off."""
+        if range_m <= 0:
+            raise BenchmarkError("non-positive range")
+        error = range_m - self.target_range_m
+        if abs(error) < self.deadband_m:
+            return 0.0
+        return float(np.clip(self.gain * error, -self.max_speed_m_s,
+                             self.max_speed_m_s))

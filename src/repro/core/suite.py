@@ -1,0 +1,125 @@
+"""The Ocularone-Bench facade: one object that runs the whole study.
+
+``OcularoneBench`` ties the subsystems together behind the API a
+downstream user would reach for first:
+
+>>> bench = OcularoneBench()
+>>> report = bench.run_all()          # every table/figure reproduction
+>>> print(report.to_markdown())
+
+plus direct accessors for the dataset, the latency grid, the accuracy
+matrix and the trade-off front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import ReproConfig, default_config
+from ..dataset.builder import DatasetBuilder, DatasetIndex
+from ..errors import BenchmarkError
+from ..hardware.registry import BENCHMARK_DEVICES
+from ..latency.estimator import LatencyEstimator, latency_table_ms
+from ..models.spec import ALL_MODEL_ORDER, YOLO_ORDER
+from ..train.surrogate import AccuracySurrogate, SurrogateQuery
+from .tradeoff import (TradeoffPoint, accuracy_latency_tradeoff,
+                       pareto_front)
+
+
+@dataclass
+class SuiteReport:
+    """Aggregated output of a full suite run."""
+
+    experiment_results: List = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(r.all_claims_hold for r in self.experiment_results)
+
+    def failed_claims(self) -> Dict[str, List[str]]:
+        return {r.experiment_id: r.failed_claims()
+                for r in self.experiment_results if r.failed_claims()}
+
+    def to_markdown(self) -> str:
+        blocks = ["# Ocularone-Bench reproduction report", ""]
+        for r in self.experiment_results:
+            blocks.append(r.to_markdown())
+            blocks.append("")
+        return "\n".join(blocks)
+
+
+class OcularoneBench:
+    """Top-level benchmark suite."""
+
+    def __init__(self, config: Optional[ReproConfig] = None) -> None:
+        self.config = (config or default_config()).validate()
+        self.surrogate = AccuracySurrogate()
+        self.estimator = LatencyEstimator()
+        self._builder: Optional[DatasetBuilder] = None
+
+    # -- dataset -----------------------------------------------------------
+
+    @property
+    def dataset_builder(self) -> DatasetBuilder:
+        if self._builder is None:
+            self._builder = DatasetBuilder(
+                seed=self.config.seed,
+                image_size=self.config.mini.image_size)
+        return self._builder
+
+    def build_dataset(self, fraction: float = 1.0) -> DatasetIndex:
+        """The (optionally scaled) Ocularone dataset index."""
+        return self.dataset_builder.build_scaled(fraction)
+
+    # -- accuracy ------------------------------------------------------------
+
+    def accuracy_matrix(self, models: Sequence[str] = YOLO_ORDER
+                        ) -> Dict[str, Dict[str, float]]:
+        """Expected accuracy (%) per model on both test sets."""
+        out: Dict[str, Dict[str, float]] = {}
+        for model in models:
+            out[model] = {
+                ds: self.surrogate.expected_precision_pct(
+                    SurrogateQuery(model, ds))
+                for ds in ("diverse", "adversarial")
+            }
+        return out
+
+    # -- latency ---------------------------------------------------------------
+
+    def latency_grid(self, models: Sequence[str] = ALL_MODEL_ORDER,
+                     devices: Sequence[str] = BENCHMARK_DEVICES
+                     ) -> Dict[str, Dict[str, float]]:
+        """Median latency (ms) per device per model."""
+        return latency_table_ms(models, devices, self.estimator)
+
+    # -- trade-off ---------------------------------------------------------------
+
+    def tradeoff_front(self) -> List[TradeoffPoint]:
+        """Pareto front over the full model×device grid."""
+        return pareto_front(accuracy_latency_tradeoff(
+            surrogate=self.surrogate, estimator=self.estimator))
+
+    # -- experiments ------------------------------------------------------------
+
+    def run_experiment(self, experiment_id: str, **kwargs):
+        """Run one registered table/figure experiment."""
+        from ..bench.experiments.registry import run_experiment
+        return run_experiment(experiment_id, **kwargs)
+
+    def run_all(self, ids: Optional[Sequence[str]] = None,
+                include_slow: bool = False) -> SuiteReport:
+        """Run the registered experiments and aggregate the report."""
+        from ..bench.experiments.registry import (EXPERIMENTS,
+                                                  FAST_EXPERIMENTS,
+                                                  run_experiment)
+        if ids is None:
+            ids = sorted(EXPERIMENTS) if include_slow \
+                else sorted(FAST_EXPERIMENTS)
+        report = SuiteReport()
+        for eid in ids:
+            report.experiment_results.append(run_experiment(eid))
+        if not report.experiment_results:
+            raise BenchmarkError("no experiments selected")
+        return report

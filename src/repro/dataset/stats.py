@@ -1,0 +1,65 @@
+"""Dataset summary statistics — the Table 1 reproduction.
+
+``table1_rows`` returns the rows of the paper's Table 1 in order, and
+``dataset_summary`` computes the same aggregation from any (possibly
+scaled) :class:`~repro.dataset.builder.DatasetIndex`, so benchmarks can
+verify the built dataset matches the paper's counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .builder import DatasetIndex
+from .taxonomy import Category, TAXONOMY, TABLE1_COUNTS, TOTAL_IMAGES
+
+#: Human-readable names of the top-level categories, in Table 1 order.
+CATEGORY_TITLES: Dict[Category, str] = {
+    Category.FOOTPATH: "1. Footpath",
+    Category.PATH: "2. Path",
+    Category.SIDE_OF_ROAD: "3. Side of road",
+    Category.MIXED: "4. Mixed scenarios",
+    Category.ADVERSARIAL: "5. Adversarial scenarios",
+}
+
+
+def table1_rows(index: Optional[DatasetIndex] = None
+                ) -> List[Tuple[str, str, int]]:
+    """Rows of Table 1: (category, sub-category, #annotated images).
+
+    With no index, returns the paper's published counts; with an index,
+    returns the counts actually present (for scaled builds).
+    """
+    counts = (TABLE1_COUNTS if index is None
+              else index.category_counts())
+    rows: List[Tuple[str, str, int]] = []
+    for sub in TAXONOMY:
+        rows.append((CATEGORY_TITLES[sub.category], sub.label,
+                     counts.get(sub.key, 0)))
+    return rows
+
+
+def dataset_summary(index: Optional[DatasetIndex] = None) -> Dict[str, int]:
+    """Aggregate counts: per top-level category plus the grand total."""
+    counts = (TABLE1_COUNTS if index is None
+              else index.category_counts())
+    by_cat: Dict[str, int] = {}
+    for sub in TAXONOMY:
+        title = CATEGORY_TITLES[sub.category]
+        by_cat[title] = by_cat.get(title, 0) + counts.get(sub.key, 0)
+    by_cat["Total"] = sum(counts.values())
+    return by_cat
+
+
+def paper_totals() -> Dict[str, int]:
+    """The paper's stated aggregates, for assertions in benchmarks."""
+    return {
+        "total": TOTAL_IMAGES,                    # 30,711
+        "mixed": TABLE1_COUNTS["mixed/all"],      # 9,169
+        "adversarial": TABLE1_COUNTS["adversarial/all"],  # 4,384
+        # §4.2 test-set sizes after the 10 % training sample is removed:
+        "diverse_test": 23543,
+        "adversarial_test": 3805,
+        # §3.1 training sample size:
+        "training_sample": 3866,
+    }

@@ -1,0 +1,127 @@
+"""The Ocularone dataset taxonomy (paper Table 1).
+
+Twelve scene sub-categories across footpath / path / side-of-road, plus a
+mixed category and an adversarial category.  The image counts are exactly
+the paper's: they sum to 30,711.  The builder uses these counts to lay out
+the full dataset index, so Table 1 is reproduced *by construction* and the
+sampling protocol (≈10 % per category, §3.1) operates on the same strata
+the authors used.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import DatasetError
+
+
+class Category(enum.Enum):
+    """Top-level scene categories from Table 1."""
+
+    FOOTPATH = "footpath"
+    PATH = "path"
+    SIDE_OF_ROAD = "side_of_road"
+    MIXED = "mixed"
+    ADVERSARIAL = "adversarial"
+
+
+@dataclass(frozen=True)
+class SubCategory:
+    """One Table 1 row: a scene stratum with its annotated-image count."""
+
+    key: str                 # stable identifier, e.g. "footpath/no_pedestrians"
+    category: Category
+    label: str               # human-readable Table 1 sub-category text
+    count: int               # number of annotated images (Table 1)
+    #: Scene-content flags consumed by the scene sampler.
+    pedestrians: bool = False
+    bicycles: bool = False
+    parked_cars: bool = False
+    clutter: bool = False    # "usual surroundings" props (trees, poles, bins)
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise DatasetError(f"sub-category {self.key} has count "
+                               f"{self.count}")
+
+
+#: Table 1, verbatim.  Order matters: it defines stable image-id ranges.
+TAXONOMY: Tuple[SubCategory, ...] = (
+    SubCategory("footpath/no_pedestrians", Category.FOOTPATH,
+                "No pedestrians", 2294),
+    SubCategory("footpath/pedestrians", Category.FOOTPATH,
+                "Pedestrians in FoV", 1371, pedestrians=True),
+    SubCategory("footpath/usual_surroundings", Category.FOOTPATH,
+                "Usual surroundings", 2115, clutter=True),
+    SubCategory("path/bicycles", Category.PATH,
+                "Bicycles in FoV", 901, bicycles=True),
+    SubCategory("path/pedestrians", Category.PATH,
+                "Pedestrians in FoV", 1658, pedestrians=True),
+    SubCategory("path/pedestrians_and_cycles", Category.PATH,
+                "Pedestrians & Cycles in FoV", 1057,
+                pedestrians=True, bicycles=True),
+    SubCategory("side_of_road/pedestrians", Category.SIDE_OF_ROAD,
+                "Pedestrians in FoV", 1326, pedestrians=True),
+    SubCategory("side_of_road/usual_surroundings", Category.SIDE_OF_ROAD,
+                "Usual Surroundings", 1887, clutter=True),
+    SubCategory("side_of_road/no_pedestrians", Category.SIDE_OF_ROAD,
+                "No pedestrians in FoV", 2022),
+    SubCategory("side_of_road/parked_cars", Category.SIDE_OF_ROAD,
+                "Parked cars in FoV", 2527, parked_cars=True),
+    SubCategory("mixed/all", Category.MIXED,
+                "Mixed scenarios", 9169,
+                pedestrians=True, bicycles=True, parked_cars=True,
+                clutter=True),
+    SubCategory("adversarial/all", Category.ADVERSARIAL,
+                "Low light, blur, cropped image, etc.", 4384,
+                pedestrians=True, clutter=True),
+)
+
+#: Map key → SubCategory (insertion order preserved).
+_BY_KEY: Dict[str, SubCategory] = {sc.key: sc for sc in TAXONOMY}
+
+#: Table 1 counts by key.
+TABLE1_COUNTS: Dict[str, int] = {sc.key: sc.count for sc in TAXONOMY}
+
+#: Grand total — the paper's 30,711 images.
+TOTAL_IMAGES: int = sum(TABLE1_COUNTS.values())
+
+#: Number of strata the training protocol samples from ("12 different
+#: categories", §3.1 — the ten scene sub-categories plus mixed and
+#: adversarial).
+NUM_SAMPLING_CATEGORIES: int = len(TAXONOMY)
+
+
+def subcategory_by_key(key: str) -> SubCategory:
+    """Look up a sub-category by its stable key."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise DatasetError(
+            f"unknown sub-category {key!r}; known: "
+            f"{sorted(_BY_KEY)}") from None
+
+
+def all_subcategories(category: Category = None) -> Tuple[SubCategory, ...]:
+    """All sub-categories, optionally filtered to one top-level category."""
+    if category is None:
+        return TAXONOMY
+    return tuple(sc for sc in TAXONOMY if sc.category is category)
+
+
+def _check_totals() -> None:
+    # Paper-stated aggregates, asserted at import so drift is impossible.
+    if TOTAL_IMAGES != 30711:
+        raise DatasetError(
+            f"taxonomy total {TOTAL_IMAGES} != paper total 30711")
+    mixed = TABLE1_COUNTS["mixed/all"]
+    if mixed != 9169:
+        raise DatasetError(f"mixed count {mixed} != 9169")
+    adv = TABLE1_COUNTS["adversarial/all"]
+    if adv != 4384:
+        raise DatasetError(f"adversarial count {adv} != 4384")
+
+
+_check_totals()

@@ -1,0 +1,175 @@
+"""Synthetic drone video source (the DJI Tello substitute).
+
+The paper's raw material is 43 videos of 1–2 minutes at 30 FPS from a
+Tello's 720p monocular camera, handheld at varying heights/distances
+while following the vest-wearing proxy VIP (§2).  This module generates
+the equivalent: a :class:`SyntheticVideoSource` produces
+:class:`VideoClip` objects whose frames evolve smoothly over time under a
+:class:`DroneMotionModel` (random-walk camera height/roll, VIP walking
+forward with lateral sway, distractors drifting through the FoV).
+
+Clips are lazy: frames are rendered on demand from per-frame SceneSpecs,
+so a "2-minute video" costs nothing until frames are extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..config import CAMERA_FPS
+from ..errors import DatasetError
+from ..rng import coerce_rng, make_rng
+from .renderer import RenderedFrame, SceneRenderer
+from .scene import CameraSpec, SceneObject, SceneSpec, sample_scene
+from .taxonomy import SubCategory, TAXONOMY
+
+
+@dataclass
+class DroneMotionModel:
+    """Smooth temporal evolution of camera and objects.
+
+    Ornstein–Uhlenbeck-style mean-reverting random walks keep the camera
+    near its nominal height/roll while producing realistic jitter; the
+    VIP advances with a sinusoidal lateral sway and a walking-phase
+    counter that animates limb swing.
+    """
+
+    height_sigma: float = 0.02
+    roll_sigma: float = 0.4
+    reversion: float = 0.05
+    vip_speed_m_s: float = 1.2   # typical walking speed
+    sway_amplitude: float = 0.05
+    sway_period_s: float = 2.5
+
+    def step(self, spec: SceneSpec, t: float, dt: float,
+             rng: np.random.Generator) -> SceneSpec:
+        """Advance the scene by ``dt`` seconds."""
+        cam = spec.camera
+        nominal_h, nominal_r = 1.7, 0.0
+        new_h = cam.height_m + self.reversion * (nominal_h - cam.height_m) \
+            + float(rng.normal(0, self.height_sigma))
+        new_r = cam.roll_deg + self.reversion * (nominal_r - cam.roll_deg) \
+            + float(rng.normal(0, self.roll_sigma))
+        new_cam = CameraSpec(height_m=float(np.clip(new_h, 1.0, 2.6)),
+                             roll_deg=float(np.clip(new_r, -8.0, 8.0)),
+                             horizon=cam.horizon, focal=cam.focal)
+
+        new_objects: List[SceneObject] = []
+        sway = self.sway_amplitude * np.sin(
+            2 * np.pi * t / self.sway_period_s)
+        for obj in spec.objects:
+            if obj.kind.value == "vip":
+                # Drone keeps pace, so VIP depth stays roughly constant;
+                # lateral sway and walking phase animate.
+                new_objects.append(replace(
+                    obj,
+                    x=float(np.clip(obj.x + sway * dt, -0.9, 0.9)),
+                    walking_phase=(obj.walking_phase
+                                   + 2 * np.pi * 1.6 * dt) % (2 * np.pi),
+                ))
+            elif obj.kind.value in ("pedestrian", "bicycle"):
+                # Moving distractors approach the camera.
+                speed = 1.0 if obj.kind.value == "pedestrian" else 3.0
+                new_z = obj.z - speed * dt
+                if new_z < 1.5:   # passed the camera; respawn far away
+                    new_z = 25.0
+                new_objects.append(replace(
+                    obj, z=float(new_z),
+                    walking_phase=(obj.walking_phase
+                                   + 2 * np.pi * 1.8 * dt) % (2 * np.pi)))
+            else:
+                new_objects.append(obj)
+        return replace(spec, camera=new_cam, objects=tuple(new_objects))
+
+
+@dataclass
+class VideoClip:
+    """A lazy sequence of frames at a fixed rate.
+
+    ``frame(i)`` renders the i-th frame deterministically; iterating the
+    clip renders all frames.  Length and rate mimic the paper's clips.
+    """
+
+    clip_id: int
+    subcategory: SubCategory
+    duration_s: float
+    fps: int
+    renderer: SceneRenderer
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise DatasetError(
+                f"duration must be positive, got {self.duration_s}")
+        if self.fps <= 0:
+            raise DatasetError(f"fps must be positive, got {self.fps}")
+
+    @property
+    def num_frames(self) -> int:
+        return int(round(self.duration_s * self.fps))
+
+    def _spec_sequence(self) -> List[SceneSpec]:
+        """Scene specs for every frame (cheap; no rendering)."""
+        rng = make_rng(self.seed, "video", self.clip_id)
+        spec = sample_scene(self.subcategory, rng)
+        motion = DroneMotionModel()
+        dt = 1.0 / self.fps
+        specs = []
+        for i in range(self.num_frames):
+            specs.append(spec)
+            spec = motion.step(spec, i * dt, dt, rng)
+        return specs
+
+    def frame(self, index: int) -> RenderedFrame:
+        """Render one frame by index."""
+        if not 0 <= index < self.num_frames:
+            raise DatasetError(
+                f"frame {index} outside clip of {self.num_frames} frames")
+        spec = self._spec_sequence()[index]
+        rng = make_rng(self.seed, "video-frame", self.clip_id, index)
+        return self.renderer.render(spec, rng)
+
+    def frames(self, step: int = 1) -> Iterator[RenderedFrame]:
+        """Iterate frames, optionally striding (used by the extractor)."""
+        if step < 1:
+            raise DatasetError(f"step must be >= 1, got {step}")
+        specs = self._spec_sequence()
+        for i in range(0, self.num_frames, step):
+            rng = make_rng(self.seed, "video-frame", self.clip_id, i)
+            yield self.renderer.render(specs[i], rng)
+
+
+class SyntheticVideoSource:
+    """Generates the 43-clip recording session of §2."""
+
+    #: Paper: 43 videos, each 1–2 minutes.
+    NUM_CLIPS = 43
+    MIN_DURATION_S = 60.0
+    MAX_DURATION_S = 120.0
+
+    def __init__(self, image_size: int = 64, seed: int = 7,
+                 fps: int = CAMERA_FPS) -> None:
+        self.renderer = SceneRenderer(image_size)
+        self.seed = seed
+        self.fps = fps
+
+    def clips(self, num_clips: Optional[int] = None,
+              duration_s: Optional[float] = None) -> List[VideoClip]:
+        """The recording session; smaller counts/durations for tests."""
+        n = self.NUM_CLIPS if num_clips is None else int(num_clips)
+        if n <= 0:
+            raise DatasetError(f"need at least one clip, got {n}")
+        rng = coerce_rng(self.seed, "video-source")
+        out = []
+        scene_cats = [sc for sc in TAXONOMY]
+        for i in range(n):
+            sub = scene_cats[int(rng.integers(0, len(scene_cats)))]
+            dur = duration_s if duration_s is not None else float(
+                rng.uniform(self.MIN_DURATION_S, self.MAX_DURATION_S))
+            out.append(VideoClip(clip_id=i, subcategory=sub,
+                                 duration_s=dur, fps=self.fps,
+                                 renderer=self.renderer, seed=self.seed))
+        return out

@@ -1,0 +1,131 @@
+"""Body-keypoint conventions for the pose-estimation substrate.
+
+trt_pose (the paper's body-pose model) uses an 18-keypoint COCO-style
+skeleton; our renderer emits a compact 13-keypoint subset sufficient for
+posture and fall classification (head + torso + limbs).  Keypoints are
+stored ``(K, 3)`` as ``(x, y, visibility)`` with visibility in {0, 1}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import AnnotationError
+
+KEYPOINT_NAMES: Tuple[str, ...] = (
+    "head",
+    "neck",
+    "left_shoulder", "right_shoulder",
+    "left_elbow", "right_elbow",
+    "left_wrist", "right_wrist",
+    "left_hip", "right_hip",
+    "left_knee", "right_knee",
+    "ankles",  # renderer merges the two ankles into a ground-contact point
+)
+
+NUM_KEYPOINTS = len(KEYPOINT_NAMES)
+
+#: Skeleton edges as (parent, child) index pairs into KEYPOINT_NAMES.
+SKELETON_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1),            # head-neck
+    (1, 2), (1, 3),    # neck-shoulders
+    (2, 4), (3, 5),    # shoulder-elbow
+    (4, 6), (5, 7),    # elbow-wrist
+    (1, 8), (1, 9),    # neck-hips (torso)
+    (8, 10), (9, 11),  # hip-knee
+    (10, 12), (11, 12),  # knee-ankles
+)
+
+#: Per-keypoint OKS falloff constants (looser for limbs, tighter for head),
+#: scaled analogously to the COCO sigmas.
+OKS_SIGMAS = np.array(
+    [0.026, 0.035, 0.079, 0.079, 0.072, 0.072, 0.062, 0.062,
+     0.107, 0.107, 0.087, 0.087, 0.089], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class KeypointSet:
+    """One person's keypoints: ``(K, 3)`` array of ``(x, y, visibility)``."""
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.shape != (NUM_KEYPOINTS, 3):
+            raise AnnotationError(
+                f"expected ({NUM_KEYPOINTS}, 3) keypoints, got {pts.shape}")
+        object.__setattr__(self, "points", pts)
+
+    @property
+    def xy(self) -> np.ndarray:
+        """``(K, 2)`` coordinate view (no copy)."""
+        return self.points[:, :2]
+
+    @property
+    def visible(self) -> np.ndarray:
+        """Boolean visibility mask ``(K,)``."""
+        return self.points[:, 2] > 0.5
+
+    def bbox(self) -> Tuple[float, float, float, float]:
+        """Tight box around visible keypoints (``xyxy``)."""
+        pts = self.xy[self.visible]
+        if len(pts) == 0:
+            raise AnnotationError("no visible keypoints to bound")
+        x1, y1 = pts.min(axis=0)
+        x2, y2 = pts.max(axis=0)
+        return (float(x1), float(y1), float(x2), float(y2))
+
+    def scaled(self, sx: float, sy: float) -> "KeypointSet":
+        out = self.points.copy()
+        out[:, 0] *= sx
+        out[:, 1] *= sy
+        return KeypointSet(out)
+
+
+def keypoints_to_features(kps: KeypointSet) -> np.ndarray:
+    """Extract the posture feature vector used by the fall-detection SVM.
+
+    Features are translation/scale invariant: torso inclination, head
+    height ratio, hip height ratio, body aspect ratio, and limb spread —
+    the geometric cues that separate upright walking from a fall.
+    Returns a fixed-length float vector.
+    """
+    pts = kps.xy
+    head, neck = pts[0], pts[1]
+    hips = 0.5 * (pts[8] + pts[9])
+    ankles = pts[12]
+    x1, y1, x2, y2 = kps.bbox()
+    height = max(y2 - y1, 1e-6)
+    width = max(x2 - x1, 1e-6)
+
+    torso = hips - neck
+    # Angle of torso from vertical: 0 when upright, ±pi/2 when horizontal.
+    torso_angle = np.arctan2(abs(torso[0]), abs(torso[1]) + 1e-9)
+    head_height_ratio = (ankles[1] - head[1]) / height
+    hip_height_ratio = (ankles[1] - hips[1]) / height
+    aspect = width / height
+    shoulders = pts[3] - pts[2]
+    shoulder_spread = np.hypot(*shoulders) / height
+    return np.array(
+        [torso_angle, head_height_ratio, hip_height_ratio, aspect,
+         shoulder_spread], dtype=np.float64)
+
+
+def oks(pred: KeypointSet, truth: KeypointSet, scale: float) -> float:
+    """Object Keypoint Similarity between prediction and ground truth.
+
+    ``scale`` is the square root of the person's bounding-box area.  Only
+    keypoints visible in the ground truth contribute.
+    """
+    if scale <= 0:
+        raise AnnotationError(f"scale must be positive, got {scale}")
+    vis = truth.visible
+    if not vis.any():
+        raise AnnotationError("ground truth has no visible keypoints")
+    d2 = np.sum((pred.xy - truth.xy) ** 2, axis=1)
+    k2 = (2.0 * OKS_SIGMAS) ** 2
+    e = d2 / (2.0 * (scale ** 2) * k2 + 1e-12)
+    return float(np.mean(np.exp(-e[vis])))

@@ -1,0 +1,20 @@
+"""Device models: Jetson edge accelerators + GPU workstation (Table 3)."""
+
+from .device import DeviceSpec, DeviceClass, GpuArchitecture
+from .registry import (
+    DEVICE_REGISTRY,
+    EDGE_DEVICES,
+    device_spec,
+    all_devices,
+    table3_rows,
+)
+from .roofline import RooflineModel, LatencyBreakdown
+from .power import PowerModel, ThermalState
+
+__all__ = [
+    "DeviceSpec", "DeviceClass", "GpuArchitecture",
+    "DEVICE_REGISTRY", "EDGE_DEVICES", "device_spec", "all_devices",
+    "table3_rows",
+    "RooflineModel", "LatencyBreakdown",
+    "PowerModel", "ThermalState",
+]

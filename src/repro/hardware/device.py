@@ -1,0 +1,101 @@
+"""Device specification (the columns of Table 3 plus runtime parameters).
+
+Each :class:`DeviceSpec` carries two kinds of data:
+
+* the published specification (Table 3: GPU architecture, CUDA/tensor
+  core counts, RAM, JetPack/CUDA versions, peak power, form factor,
+  weight, price — plus the workstation's CPU);
+* the roofline-model parameters fitted to the paper's measured
+  latencies: effective sustained TFLOPS under the paper's PyTorch 2.0
+  FP32 deployment, per-inference host overhead (preprocess + H2D/D2H
+  copies at 640×640, scaled by input pixels), a CPU speed factor for
+  model post-processing, and effective memory bandwidth.
+
+The fitted values live in :mod:`repro.hardware.registry` with comments
+tying each to its paper anchor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import HardwareError
+
+
+class GpuArchitecture(enum.Enum):
+    """GPU generations appearing in the paper."""
+
+    VOLTA = "Volta"
+    AMPERE = "Ampere"
+    ADA = "Ada"          # (the RTX 4090 is Ada; the paper labels it
+    #                      Ampere — the registry follows the paper)
+
+
+class DeviceClass(enum.Enum):
+    """Deployment tier."""
+
+    EDGE = "edge"
+    WORKSTATION = "workstation"
+    TRAINING = "training"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One compute device (Table 3 row or workstation)."""
+
+    name: str                       # canonical key, e.g. "orin-agx"
+    display_name: str               # Table 3 header, e.g. "Orin AGX"
+    device_class: DeviceClass
+    gpu_architecture: GpuArchitecture
+    cuda_cores: int
+    tensor_cores: int
+    ram_gb: float
+    peak_power_w: float
+    jetpack_version: Optional[str] = None
+    cuda_version: Optional[str] = None
+    form_factor_mm: Optional[Tuple[int, int, int]] = None
+    weight_g: Optional[float] = None
+    price_usd: Optional[float] = None
+    cpu_model: Optional[str] = None
+
+    # -- roofline parameters (fitted; see registry for anchors) ------------
+    effective_tflops: float = 1.0
+    overhead_ms_at_640: float = 5.0
+    cpu_factor: float = 1.0
+    memory_bandwidth_gb_s: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores <= 0 or self.tensor_cores < 0:
+            raise HardwareError(f"{self.name}: bad core counts")
+        if self.ram_gb <= 0 or self.peak_power_w <= 0:
+            raise HardwareError(f"{self.name}: bad RAM/power")
+        if self.effective_tflops <= 0:
+            raise HardwareError(f"{self.name}: bad effective TFLOPS")
+        if self.overhead_ms_at_640 < 0 or self.cpu_factor <= 0:
+            raise HardwareError(f"{self.name}: bad runtime parameters")
+        if self.memory_bandwidth_gb_s <= 0:
+            raise HardwareError(f"{self.name}: bad memory bandwidth")
+
+    @property
+    def is_edge(self) -> bool:
+        return self.device_class is DeviceClass.EDGE
+
+    @property
+    def compute_per_dollar(self) -> float:
+        """Effective GFLOPS per USD (deployment-cost ablation)."""
+        if not self.price_usd:
+            raise HardwareError(f"{self.name}: no price recorded")
+        return 1000.0 * self.effective_tflops / self.price_usd
+
+    @property
+    def compute_per_watt(self) -> float:
+        """Effective GFLOPS per watt at peak power."""
+        return 1000.0 * self.effective_tflops / self.peak_power_w
+
+    def fits_model(self, model_size_mb: float,
+                   activation_mb: float = 512.0) -> bool:
+        """Rough RAM feasibility check for hosting a model."""
+        needed_gb = (model_size_mb + activation_mb) / 1024.0
+        return needed_gb < 0.8 * self.ram_gb

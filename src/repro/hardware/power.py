@@ -1,0 +1,99 @@
+"""Power draw and thermal-throttling model for sustained inference.
+
+The paper benchmarks ~1,000 consecutive frames per model (§4.2); on
+fanless/passively-cooled Jetson boards sustained load can trip DVFS
+throttling, which shows up as a heavy right tail in per-frame latency.
+This module provides:
+
+* a simple utilisation-proportional power model (idle + dynamic);
+* a first-order thermal RC state that heats with dissipated power and
+  triggers a throttle factor above a threshold temperature.
+
+The stochastic latency sampler composes this with the roofline medians
+to produce realistic latency distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HardwareError
+from .device import DeviceSpec
+
+
+@dataclass
+class PowerModel:
+    """Idle + load-proportional power draw."""
+
+    idle_fraction: float = 0.15     # idle draw as fraction of peak
+    dynamic_exponent: float = 1.0   # linearity of load→power
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.idle_fraction < 1.0:
+            raise HardwareError(
+                f"idle fraction {self.idle_fraction} outside [0, 1)")
+        if self.dynamic_exponent <= 0:
+            raise HardwareError("dynamic exponent must be positive")
+
+    def draw_watts(self, device: DeviceSpec, utilisation: float) -> float:
+        """Power draw at a given GPU utilisation in [0, 1]."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise HardwareError(
+                f"utilisation {utilisation} outside [0, 1]")
+        idle = self.idle_fraction * device.peak_power_w
+        dynamic = (device.peak_power_w - idle) \
+            * utilisation ** self.dynamic_exponent
+        return idle + dynamic
+
+    def energy_per_frame_mj(self, device: DeviceSpec, latency_ms: float,
+                            utilisation: float = 0.9) -> float:
+        """Energy per inference in millijoules."""
+        if latency_ms <= 0:
+            raise HardwareError(f"latency must be positive, {latency_ms}")
+        return self.draw_watts(device, utilisation) * latency_ms
+
+
+@dataclass
+class ThermalState:
+    """First-order thermal model with throttling.
+
+    ``T' = T + dt · (P/C − (T − T_amb)/τ)``; when T crosses
+    ``throttle_temp`` the device sheds frequency, multiplying latency by
+    ``throttle_factor`` until it cools below ``recover_temp``.
+    """
+
+    ambient_c: float = 25.0
+    heat_capacity: float = 60.0        # J/°C equivalent
+    time_constant_s: float = 90.0
+    throttle_temp_c: float = 85.0
+    recover_temp_c: float = 78.0
+    throttle_factor: float = 1.35
+    temperature_c: float = field(default=25.0)
+    throttled: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.throttle_temp_c <= self.recover_temp_c:
+            raise HardwareError(
+                "throttle temperature must exceed recovery temperature")
+        if self.throttle_factor < 1.0:
+            raise HardwareError("throttle factor must be >= 1")
+        self.temperature_c = max(self.temperature_c, self.ambient_c)
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the thermal state; returns the latency multiplier."""
+        if dt_s < 0 or power_w < 0:
+            raise HardwareError("negative power or time step")
+        heating = power_w / self.heat_capacity
+        cooling = (self.temperature_c - self.ambient_c) \
+            / self.time_constant_s
+        self.temperature_c += dt_s * (heating - cooling)
+        if self.throttled:
+            if self.temperature_c < self.recover_temp_c:
+                self.throttled = False
+        elif self.temperature_c > self.throttle_temp_c:
+            self.throttled = True
+        return self.throttle_factor if self.throttled else 1.0
+
+    def reset(self) -> None:
+        self.temperature_c = self.ambient_c
+        self.throttled = False

@@ -1,0 +1,166 @@
+"""Numeric-precision deployment modelling (FP32 / FP16 / INT8).
+
+The paper benchmarks PyTorch 2.0 FP32 (§4.1) and explicitly uses one
+TensorRT FP16 engine (trt_pose).  Real deployments quantise: FP16 and
+INT8 engines trade a small accuracy delta for large latency gains on
+tensor-core hardware.  This module models that trade:
+
+* **throughput gain** per precision, gated by the device's tensor-core
+  generation (Volta's tensor cores accelerate FP16 only; Ampere adds
+  fast INT8; no tensor cores → modest gains from memory effects alone);
+* **accuracy delta** per precision: FP16 is essentially lossless for
+  detection; post-training INT8 costs a fraction of a point, larger for
+  small models (fewer redundant channels to absorb quantisation error).
+
+These factors compose with the roofline: ``latency(precision) ≈
+latency(fp32) with compute scaled by the gain`` (overhead and CPU
+post-processing are precision-independent).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import HardwareError
+from ..hardware.device import DeviceSpec, GpuArchitecture
+from ..hardware.registry import device_spec
+from ..hardware.roofline import RooflineModel
+from ..models.spec import ModelSpec, model_spec
+
+
+class Precision(enum.Enum):
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT8 = "int8"
+
+
+#: Compute-throughput multiplier vs FP32, by GPU generation.
+#: Volta tensor cores: FP16 only.  Ampere: FP16 + fast INT8 paths.
+_THROUGHPUT_GAIN: Dict[GpuArchitecture, Dict[Precision, float]] = {
+    GpuArchitecture.VOLTA: {
+        Precision.FP32: 1.0, Precision.FP16: 2.2, Precision.INT8: 2.6,
+    },
+    GpuArchitecture.AMPERE: {
+        Precision.FP32: 1.0, Precision.FP16: 2.6, Precision.INT8: 4.0,
+    },
+    GpuArchitecture.ADA: {
+        Precision.FP32: 1.0, Precision.FP16: 2.8, Precision.INT8: 4.5,
+    },
+}
+
+#: Detection-accuracy delta in percentage points (diverse test set),
+#: per precision, scaled by model size class.  FP16 is lossless at this
+#: granularity; PTQ INT8 costs more on thin models.
+_ACCURACY_DELTA_PCT: Dict[Precision, Dict[str, float]] = {
+    Precision.FP32: {"n": 0.0, "m": 0.0, "x": 0.0, "-": 0.0},
+    Precision.FP16: {"n": -0.02, "m": -0.01, "x": -0.01, "-": -0.02},
+    Precision.INT8: {"n": -0.8, "m": -0.4, "x": -0.25, "-": -0.5},
+}
+
+#: Serialized model-size multiplier vs the FP16-ish sizes in Table 2.
+_SIZE_FACTOR: Dict[Precision, float] = {
+    Precision.FP32: 2.0, Precision.FP16: 1.0, Precision.INT8: 0.5,
+}
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """One (model, device, precision) deployment operating point."""
+
+    model: str
+    device: str
+    precision: Precision
+    latency_ms: float
+    accuracy_delta_pct: float
+    model_size_mb: float
+
+    def as_dict(self) -> Dict:
+        return {"model": self.model, "device": self.device,
+                "precision": self.precision.value,
+                "latency_ms": self.latency_ms,
+                "accuracy_delta_pct": self.accuracy_delta_pct,
+                "model_size_mb": self.model_size_mb}
+
+
+class PrecisionModel:
+    """Precision-aware latency/accuracy/size projections."""
+
+    def __init__(self, roofline: Optional[RooflineModel] = None) -> None:
+        self.roofline = roofline or RooflineModel()
+
+    @staticmethod
+    def throughput_gain(device: DeviceSpec,
+                        precision: Precision) -> float:
+        try:
+            return _THROUGHPUT_GAIN[device.gpu_architecture][precision]
+        except KeyError:
+            raise HardwareError(
+                f"no gain table for {device.gpu_architecture}") from None
+
+    @staticmethod
+    def accuracy_delta_pct(model: ModelSpec,
+                           precision: Precision) -> float:
+        return _ACCURACY_DELTA_PCT[precision].get(
+            model.variant, _ACCURACY_DELTA_PCT[precision]["-"])
+
+    def latency_ms(self, model: ModelSpec, device: DeviceSpec,
+                   precision: Precision) -> float:
+        """Latency with the compute (and memory) terms accelerated.
+
+        trt_pose's spec already encodes its TensorRT FP16 engine via its
+        utilisation multiplier; requesting FP16 for it again is a no-op
+        (gain 1.0) to avoid double-counting.
+        """
+        b = self.roofline.breakdown(model, device)
+        if model.family == "trt_pose" and precision is Precision.FP16:
+            gain = 1.0
+        else:
+            gain = self.throughput_gain(device, precision)
+        compute = b.compute_ms / gain
+        # Lower-precision weights/activations also shrink traffic.
+        memory = b.memory_ms / _SIZE_FACTOR[Precision.FP32] \
+            * _SIZE_FACTOR[precision] * 2.0
+        return max(compute, memory) + b.overhead_ms + b.postprocess_ms
+
+    def point(self, model_name: str, device_name: str,
+              precision: Precision) -> PrecisionPoint:
+        m = model_spec(model_name)
+        d = device_spec(device_name)
+        return PrecisionPoint(
+            model=model_name, device=device_name, precision=precision,
+            latency_ms=self.latency_ms(m, d, precision),
+            accuracy_delta_pct=self.accuracy_delta_pct(m, precision),
+            model_size_mb=m.model_size_mb * _SIZE_FACTOR[precision],
+        )
+
+    def sweep(self, model_name: str, device_name: str
+              ) -> Dict[Precision, PrecisionPoint]:
+        """All three precisions for one deployment pair."""
+        return {p: self.point(model_name, device_name, p)
+                for p in Precision}
+
+    def cheapest_meeting_deadline(self, model_name: str,
+                                  device_name: str, deadline_ms: float,
+                                  max_accuracy_loss_pct: float = 0.5
+                                  ) -> PrecisionPoint:
+        """Least-aggressive precision that meets the deadline.
+
+        Prefers FP32 > FP16 > INT8 (less quantisation risk first);
+        raises when even INT8 within the accuracy budget cannot meet
+        the deadline.
+        """
+        if deadline_ms <= 0:
+            raise HardwareError("deadline must be positive")
+        for precision in (Precision.FP32, Precision.FP16,
+                          Precision.INT8):
+            point = self.point(model_name, device_name, precision)
+            if point.latency_ms <= deadline_ms and \
+                    abs(point.accuracy_delta_pct) \
+                    <= max_accuracy_loss_pct:
+                return point
+        raise HardwareError(
+            f"{model_name}@{device_name}: no precision meets "
+            f"{deadline_ms} ms within {max_accuracy_loss_pct} pct "
+            "accuracy loss")

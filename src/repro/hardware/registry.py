@@ -1,0 +1,129 @@
+"""Device registry: Table 3 devices + RTX 4090 workstation + A5000.
+
+Published columns are verbatim from Table 3 / §4.1.  The roofline
+parameters are fitted to the paper's latency anchors:
+
+* ``xavier-nx.effective_tflops = 0.266`` — pins YOLOv8-x at ≈989 ms
+  (§4.2.3 "reaching up to 989 ms");
+* ``rtx4090.effective_tflops = 14.0`` — pins YOLOv8-x just under 20 ms
+  and the ≈50× NX speed-up (§4.2.4);
+* ``orin-agx = 0.95`` / ``orin-nano = 0.55`` — preserve the paper's
+  ordering (AGX fastest, NX slowest) and its bounds: nano/medium YOLO
+  ≤200 ms and x-large ≤500 ms on the Orin-class boards (§4.2.3);
+* overheads and CPU factors place BodyPose medians in the 28–47 ms band
+  and Monodepth2 in the ≈75–232 ms band (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import HardwareError
+from .device import DeviceClass, DeviceSpec, GpuArchitecture
+
+DEVICE_REGISTRY: Dict[str, DeviceSpec] = {
+    spec.name: spec for spec in (
+        DeviceSpec(
+            name="orin-agx", display_name="Orin AGX",
+            device_class=DeviceClass.EDGE,
+            gpu_architecture=GpuArchitecture.AMPERE,
+            cuda_cores=2048, tensor_cores=64, ram_gb=32,
+            peak_power_w=60,
+            jetpack_version="6.1", cuda_version="12.6",
+            form_factor_mm=(110, 110, 72), weight_g=872.5,
+            price_usd=2370,
+            effective_tflops=0.95, overhead_ms_at_640=7.0,
+            cpu_factor=0.65, memory_bandwidth_gb_s=204.8,
+        ),
+        DeviceSpec(
+            name="xavier-nx", display_name="Xavier NX",
+            device_class=DeviceClass.EDGE,
+            gpu_architecture=GpuArchitecture.VOLTA,
+            cuda_cores=384, tensor_cores=48, ram_gb=8,
+            peak_power_w=15,
+            jetpack_version="5.0.2", cuda_version="11.4",
+            form_factor_mm=(103, 90, 35), weight_g=174,
+            price_usd=460,
+            effective_tflops=0.266, overhead_ms_at_640=18.0,
+            cpu_factor=1.0, memory_bandwidth_gb_s=51.2,
+        ),
+        DeviceSpec(
+            name="orin-nano", display_name="Orin Nano",
+            device_class=DeviceClass.EDGE,
+            gpu_architecture=GpuArchitecture.AMPERE,
+            cuda_cores=1024, tensor_cores=32, ram_gb=8,
+            peak_power_w=15,
+            jetpack_version="5.1.1", cuda_version="11.4",
+            form_factor_mm=(100, 79, 21), weight_g=176,
+            price_usd=630,
+            effective_tflops=0.55, overhead_ms_at_640=10.0,
+            cpu_factor=0.75, memory_bandwidth_gb_s=68.0,
+        ),
+        DeviceSpec(
+            name="rtx4090", display_name="RTX 4090",
+            device_class=DeviceClass.WORKSTATION,
+            # §4.1 describes the RTX 4090 as Ampere with 16,384 CUDA
+            # cores and 512 tensor cores; we follow the paper's text.
+            gpu_architecture=GpuArchitecture.AMPERE,
+            cuda_cores=16384, tensor_cores=512, ram_gb=24,
+            peak_power_w=450,
+            cpu_model="AMD Ryzen 9 7900X 12-Core",
+            price_usd=1600,
+            effective_tflops=14.0, overhead_ms_at_640=1.2,
+            cpu_factor=0.08, memory_bandwidth_gb_s=1008.0,
+        ),
+        DeviceSpec(
+            name="a5000", display_name="A5000",
+            device_class=DeviceClass.TRAINING,
+            gpu_architecture=GpuArchitecture.AMPERE,
+            cuda_cores=8192, tensor_cores=256, ram_gb=24,
+            peak_power_w=230,
+            price_usd=2000,
+            effective_tflops=8.0, overhead_ms_at_640=1.5,
+            cpu_factor=0.12, memory_bandwidth_gb_s=768.0,
+        ),
+    )
+}
+
+#: The three Jetson boards the paper benchmarks, in Table 3 order.
+EDGE_DEVICE_ORDER: Tuple[str, ...] = ("orin-agx", "xavier-nx", "orin-nano")
+
+#: Edge devices ordered by compute (the figures' o-agx / o-nano / nx).
+EDGE_DEVICES: Tuple[str, ...] = EDGE_DEVICE_ORDER
+
+#: Devices appearing in the latency figures (Figs. 5, 6).
+BENCHMARK_DEVICES: Tuple[str, ...] = EDGE_DEVICE_ORDER + ("rtx4090",)
+
+
+def device_spec(name: str) -> DeviceSpec:
+    """Look up a device by canonical name."""
+    try:
+        return DEVICE_REGISTRY[name]
+    except KeyError:
+        raise HardwareError(
+            f"unknown device {name!r}; known: "
+            f"{sorted(DEVICE_REGISTRY)}") from None
+
+
+def all_devices(device_class: DeviceClass = None) -> List[DeviceSpec]:
+    """All devices, optionally filtered by class."""
+    out = list(DEVICE_REGISTRY.values())
+    if device_class is not None:
+        out = [d for d in out if d.device_class is device_class]
+    return out
+
+
+def table3_rows() -> List[Tuple[str, str, str, str, float, str, str,
+                                float, str, float, float]]:
+    """Rows of Table 3 (the three Jetson devices), column-ordered."""
+    rows = []
+    for name in EDGE_DEVICE_ORDER:
+        d = DEVICE_REGISTRY[name]
+        ff = "x".join(str(v) for v in d.form_factor_mm)
+        rows.append((
+            d.display_name, d.gpu_architecture.value,
+            f"{d.cuda_cores}/{d.tensor_cores}", f"{d.ram_gb:g}",
+            d.peak_power_w, d.jetpack_version, d.cuda_version,
+            d.weight_g, ff, d.price_usd, d.ram_gb,
+        ))
+    return rows

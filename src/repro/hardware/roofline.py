@@ -1,0 +1,121 @@
+"""Roofline-style analytical latency model.
+
+Per-inference latency of model *m* on device *d* decomposes as::
+
+    t = max(t_compute, t_memory) + t_overhead + t_postprocess
+
+    t_compute  = FLOPs(m) / (eff_TFLOPS(d) · util(m))
+    t_memory   = traffic(m) / eff_bandwidth(d)
+    t_overhead = overhead_640(d) · input_pixels(m) / 640²
+    t_postproc = postproc_ref(m) · cpu_factor(d)
+
+``util(m)`` is the model's utilisation multiplier (launch-bound small
+models and memory-bound decoders fall below 1; TensorRT FP16 engines rise
+above it).  ``traffic`` counts weights plus produced activations once —
+the compute term dominates for every paper model/device pair, but the
+memory term guards extrapolation to very thin models.
+
+The model generalises: any :class:`~repro.models.spec.ModelSpec` × any
+:class:`~repro.hardware.device.DeviceSpec` yields a latency, including
+pairs the paper never measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareError
+from ..models.spec import ModelSpec
+from ..units import GIGA, MB, TERA
+from .device import DeviceSpec
+
+#: Reference input area for host-overhead scaling (the YOLO 640² frame).
+_REF_PIXELS = 640 * 640
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-term decomposition of one model/device latency estimate."""
+
+    model: str
+    device: str
+    compute_ms: float
+    memory_ms: float
+    overhead_ms: float
+    postprocess_ms: float
+
+    @property
+    def gpu_ms(self) -> float:
+        """Kernel time: the roofline max of compute and memory."""
+        return max(self.compute_ms, self.memory_ms)
+
+    @property
+    def total_ms(self) -> float:
+        return self.gpu_ms + self.overhead_ms + self.postprocess_ms
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_ms >= self.memory_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model, "device": self.device,
+            "compute_ms": self.compute_ms, "memory_ms": self.memory_ms,
+            "overhead_ms": self.overhead_ms,
+            "postprocess_ms": self.postprocess_ms,
+            "total_ms": self.total_ms,
+        }
+
+
+class RooflineModel:
+    """Analytical latency estimator over (ModelSpec, DeviceSpec) pairs."""
+
+    def __init__(self, activation_traffic_factor: float = 2.0) -> None:
+        # Each produced activation is written once and read once
+        # downstream → factor 2 on activation bytes.
+        if activation_traffic_factor <= 0:
+            raise HardwareError(
+                "activation_traffic_factor must be positive")
+        self.activation_traffic_factor = activation_traffic_factor
+
+    def traffic_bytes(self, model: ModelSpec) -> float:
+        """Approximate bytes moved per inference (weights + activations)."""
+        weight_bytes = model.model_size_mb * MB
+        # Rough activation volume: proportional to input pixels with a
+        # small per-pixel channel-depth constant (FP32, ~64 channels
+        # average over the network's pyramid).
+        act_bytes = model.input_pixels * 64 * 4
+        return weight_bytes + self.activation_traffic_factor * act_bytes
+
+    def breakdown(self, model: ModelSpec,
+                  device: DeviceSpec) -> LatencyBreakdown:
+        """Full latency decomposition in milliseconds."""
+        flops = model.gflops * GIGA
+        eff_flops_per_s = (device.effective_tflops * TERA
+                           * model.util_multiplier)
+        compute_ms = 1000.0 * flops / eff_flops_per_s
+        memory_ms = 1000.0 * self.traffic_bytes(model) \
+            / (device.memory_bandwidth_gb_s * GIGA)
+        overhead_ms = device.overhead_ms_at_640 \
+            * model.input_pixels / _REF_PIXELS
+        postprocess_ms = model.postprocess_ms_ref * device.cpu_factor
+        return LatencyBreakdown(
+            model=model.name, device=device.name,
+            compute_ms=compute_ms, memory_ms=memory_ms,
+            overhead_ms=overhead_ms, postprocess_ms=postprocess_ms)
+
+    def median_latency_ms(self, model: ModelSpec,
+                          device: DeviceSpec) -> float:
+        """The deterministic median latency estimate."""
+        return self.breakdown(model, device).total_ms
+
+    def throughput_fps(self, model: ModelSpec,
+                       device: DeviceSpec) -> float:
+        """Single-stream frames per second (1 / latency)."""
+        return 1000.0 / self.median_latency_ms(model, device)
+
+    def speedup(self, model: ModelSpec, fast: DeviceSpec,
+                slow: DeviceSpec) -> float:
+        """Latency ratio slow/fast for one model (§4.2.4's ≈50×)."""
+        return (self.median_latency_ms(model, slow)
+                / self.median_latency_ms(model, fast))

@@ -1,0 +1,101 @@
+"""Weather corruptions: rain streaks and fog.
+
+The paper's future work targets "more diverse real-world scenarios";
+rain and fog are the two weather conditions a drone-based system meets
+first.  These transforms extend the adversarial set without touching
+the dataset's frozen corruption distribution (Table 1's adversarial
+stratum keeps its original kinds; weather is opt-in for robustness
+studies).
+
+* Rain: slanted bright streaks alpha-composited over the frame, plus a
+  slight desaturation (overcast light).
+* Fog: depth-independent homogeneous scattering toward a grey veil —
+  ``I' = I·t + A·(1 − t)`` with transmission ``t`` set by severity (the
+  depth-aware variant uses the frame's depth map when provided).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..geometry.bbox import BBox
+from ..rng import coerce_rng
+
+_FOG_COLOR = np.array([0.78, 0.80, 0.83], dtype=np.float32)
+_RAIN_COLOR = np.array([0.85, 0.88, 0.92], dtype=np.float32)
+
+
+def add_rain(image: np.ndarray, severity: float,
+             rng: Optional[np.random.Generator] = None,
+             angle_deg: float = 12.0) -> np.ndarray:
+    """Rain streaks at density/length scaled by ``severity`` ∈ [0, 1]."""
+    if not 0.0 <= severity <= 1.0:
+        raise ConfigError(f"severity {severity} outside [0, 1]")
+    if severity == 0.0:
+        return image.copy()
+    gen = coerce_rng(rng, "weather", "rain")
+    h, w = image.shape[:2]
+    out = image.copy()
+
+    n_streaks = int(severity * 0.06 * h * w / 8)
+    length = max(2, int(severity * h * 0.25))
+    dx = np.tan(np.deg2rad(angle_deg))
+    xs0 = gen.uniform(0, w, n_streaks)
+    ys0 = gen.uniform(-length, h, n_streaks)
+    alpha = 0.35 * severity
+    ts = np.arange(length, dtype=np.float32)
+    # All streaks rasterised vectorised: (n, length) coordinate grids.
+    ys = (ys0[:, None] + ts[None, :]).astype(np.intp)
+    xs = (xs0[:, None] + dx * ts[None, :]).astype(np.intp)
+    valid = (ys >= 0) & (ys < h) & (xs >= 0) & (xs < w)
+    yv, xv = ys[valid], xs[valid]
+    out[yv, xv] = (1 - alpha) * out[yv, xv] + alpha * _RAIN_COLOR
+    # Overcast desaturation.
+    gray = out.mean(axis=2, keepdims=True)
+    out = (1 - 0.2 * severity) * out + 0.2 * severity * gray
+    return np.clip(out, 0.0, 1.0).astype(np.float32)
+
+
+def add_fog(image: np.ndarray, severity: float,
+            depth: Optional[np.ndarray] = None,
+            visibility_m: float = 20.0) -> np.ndarray:
+    """Fog veil; depth-aware when a depth map is supplied.
+
+    Homogeneous: transmission ``t = 1 − 0.7·severity``.  Depth-aware:
+    Beer–Lambert ``t = exp(−β·z)`` with β chosen so the configured
+    visibility keeps ≈25 % contrast at max severity.
+    """
+    if not 0.0 <= severity <= 1.0:
+        raise ConfigError(f"severity {severity} outside [0, 1]")
+    if severity == 0.0:
+        return image.copy()
+    if depth is not None:
+        if depth.shape != image.shape[:2]:
+            raise ConfigError(
+                f"depth {depth.shape} does not match image "
+                f"{image.shape[:2]}")
+        if visibility_m <= 0:
+            raise ConfigError("visibility must be positive")
+        beta = severity * (-np.log(0.25)) / visibility_m
+        t = np.exp(-beta * depth)[:, :, None].astype(np.float32)
+    else:
+        t = np.float32(1.0 - 0.7 * severity)
+    out = image * t + _FOG_COLOR[None, None, :] * (1.0 - t)
+    return np.clip(out, 0.0, 1.0).astype(np.float32)
+
+
+def apply_weather(image: np.ndarray, boxes: Sequence[BBox],
+                  kind: str, severity: float,
+                  depth: Optional[np.ndarray] = None,
+                  rng: Optional[np.random.Generator] = None
+                  ) -> Tuple[np.ndarray, List[BBox]]:
+    """Dispatch by kind ("rain" / "fog"); boxes are photometrically
+    unaffected (weather never moves geometry)."""
+    if kind == "rain":
+        return add_rain(image, severity, rng), list(boxes)
+    if kind == "fog":
+        return add_fog(image, severity, depth), list(boxes)
+    raise ConfigError(f"unknown weather kind {kind!r}")

@@ -1,0 +1,11 @@
+"""Serialization utilities: minimal YAML, checkpoints, report emitters."""
+
+from .yamlish import dump_yaml, load_yaml
+from .serialization import save_checkpoint, load_checkpoint
+from .report import markdown_table, csv_table, format_float
+
+__all__ = [
+    "dump_yaml", "load_yaml",
+    "save_checkpoint", "load_checkpoint",
+    "markdown_table", "csv_table", "format_float",
+]

@@ -1,0 +1,81 @@
+"""Model checkpoint I/O on top of ``.npz``.
+
+Checkpoints store a flat mapping of parameter names to arrays plus a
+JSON-encoded metadata blob (architecture name, config, training state).
+Loading verifies that every expected parameter is present and shaped
+correctly before any state is mutated, so a failed load never leaves a
+model half-restored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SerializationError
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(path: str, params: Dict[str, np.ndarray],
+                    meta: Optional[Dict] = None) -> None:
+    """Write parameters + metadata to an ``.npz`` checkpoint."""
+    if not params:
+        raise SerializationError("refusing to save an empty checkpoint")
+    for name, arr in params.items():
+        if name == _META_KEY:
+            raise SerializationError(
+                f"parameter name {name!r} is reserved")
+        if not isinstance(arr, np.ndarray):
+            raise SerializationError(
+                f"parameter {name!r} is not an ndarray "
+                f"({type(arr)!r})")
+    payload = dict(params)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Read a checkpoint; returns ``(params, meta)``."""
+    if not os.path.exists(path):
+        raise SerializationError(f"no checkpoint at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            params = {k: data[k] for k in data.files if k != _META_KEY}
+            if _META_KEY in data.files:
+                meta = json.loads(bytes(data[_META_KEY]).decode("utf-8"))
+            else:
+                meta = {}
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"corrupt checkpoint {path}: {exc}") from exc
+    if not params:
+        raise SerializationError(f"checkpoint {path} has no parameters")
+    return params, meta
+
+
+def restore_into(target: Dict[str, np.ndarray],
+                 loaded: Dict[str, np.ndarray]) -> None:
+    """Copy loaded arrays into an existing parameter dict, atomically.
+
+    Validates names and shapes first; only then writes (in place), so a
+    mismatch cannot corrupt the target model.
+    """
+    missing = set(target) - set(loaded)
+    extra = set(loaded) - set(target)
+    if missing or extra:
+        raise SerializationError(
+            f"parameter mismatch: missing={sorted(missing)}, "
+            f"unexpected={sorted(extra)}")
+    for name, arr in target.items():
+        if loaded[name].shape != arr.shape:
+            raise SerializationError(
+                f"shape mismatch for {name!r}: checkpoint "
+                f"{loaded[name].shape} vs model {arr.shape}")
+    for name, arr in target.items():
+        arr[...] = loaded[name]

@@ -1,0 +1,100 @@
+"""A minimal YAML subset writer/reader (no PyYAML offline).
+
+Supports exactly what the Roboflow ``data.yaml`` needs: a flat mapping of
+scalars plus one level of lists of scalars.  Round-trips its own output.
+The dialect:
+
+* ``key: value`` for scalars (str/int/float/bool);
+* ``key:`` followed by ``-  item`` lines for lists;
+* ``#`` comments and blank lines ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+from ..errors import SerializationError
+
+Scalar = Union[str, int, float, bool]
+
+
+def _dump_scalar(v: Scalar) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, (int, float)):
+        return repr(v)
+    s = str(v)
+    # Quote strings that would parse as something else.
+    if (s == "" or s.strip() != s or ":" in s or s.startswith(("-", "#"))
+            or _parse_scalar(s) != s):
+        return '"' + s.replace('"', '\\"') + '"'
+    return s
+
+
+def dump_yaml(data: Dict[str, Any]) -> str:
+    """Serialise a flat dict (scalar or list-of-scalar values)."""
+    lines: List[str] = []
+    for key, value in data.items():
+        if not isinstance(key, str) or not key:
+            raise SerializationError(f"bad YAML key {key!r}")
+        if isinstance(value, (list, tuple)):
+            lines.append(f"{key}:")
+            for item in value:
+                lines.append(f"  - {_dump_scalar(item)}")
+        elif isinstance(value, (str, int, float, bool)):
+            lines.append(f"{key}: {_dump_scalar(value)}")
+        else:
+            raise SerializationError(
+                f"unsupported YAML value type {type(value)!r} for {key!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_scalar(text: str) -> Scalar:
+    t = text.strip()
+    if t.startswith('"') and t.endswith('"') and len(t) >= 2:
+        return t[1:-1].replace('\\"', '"')
+    if t == "true":
+        return True
+    if t == "false":
+        return False
+    try:
+        return int(t)
+    except ValueError:
+        pass
+    try:
+        return float(t)
+    except ValueError:
+        pass
+    return t
+
+
+def load_yaml(text: str) -> Dict[str, Any]:
+    """Parse the dialect written by :func:`dump_yaml`."""
+    out: Dict[str, Any] = {}
+    current_list_key = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("- "):
+            if current_list_key is None:
+                raise SerializationError(
+                    f"line {line_no}: list item outside a list")
+            out[current_list_key].append(_parse_scalar(stripped[2:]))
+            continue
+        if ":" not in stripped:
+            raise SerializationError(
+                f"line {line_no}: expected 'key: value', got {raw!r}")
+        key, _, rest = stripped.partition(":")
+        key = key.strip()
+        rest = rest.strip()
+        if not key:
+            raise SerializationError(f"line {line_no}: empty key")
+        if rest == "":
+            out[key] = []
+            current_list_key = key
+        else:
+            out[key] = _parse_scalar(rest)
+            current_list_key = None
+    return out

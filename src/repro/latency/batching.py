@@ -1,0 +1,140 @@
+"""Batched-inference throughput modelling.
+
+The paper benchmarks single-frame latency (the live-guidance case), but
+its edge-cloud discussion implies a second regime: an off-board
+workstation serving *multiple* drones amortises per-inference overhead
+across a batch.  This module extends the roofline to batch size ``b``:
+
+* compute time scales linearly in ``b`` once the GPU saturates, but
+  small models gain utilisation with batching (more parallel work per
+  kernel) — modelled as the utilisation rising toward its saturated
+  value with batch;
+* host overhead is paid once per batch (the big win);
+* post-processing stays per-frame (CPU-side NMS etc.).
+
+Outputs: per-frame latency and throughput curves over batch size, and
+the latency-optimal / throughput-optimal batch under a deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import HardwareError
+from ..hardware.device import DeviceSpec
+from ..hardware.registry import device_spec
+from ..hardware.roofline import RooflineModel
+from ..models.spec import ModelSpec, model_spec
+from ..units import GIGA, TERA
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """Latency/throughput at one batch size."""
+
+    batch: int
+    batch_latency_ms: float      # time for the whole batch
+    per_frame_ms: float          # batch_latency / batch
+    throughput_fps: float
+
+    def as_dict(self) -> Dict:
+        return {"batch": self.batch,
+                "batch_latency_ms": self.batch_latency_ms,
+                "per_frame_ms": self.per_frame_ms,
+                "throughput_fps": self.throughput_fps}
+
+
+class BatchingModel:
+    """Roofline extension over batch size."""
+
+    def __init__(self, roofline: Optional[RooflineModel] = None,
+                 saturation_batch: float = 8.0) -> None:
+        # ``saturation_batch``: batch size at which a small model's
+        # utilisation reaches ~2/3 of its saturated value.
+        if saturation_batch <= 0:
+            raise HardwareError("saturation batch must be positive")
+        self.roofline = roofline or RooflineModel()
+        self.saturation_batch = saturation_batch
+
+    def _batch_utilisation(self, model: ModelSpec, batch: int) -> float:
+        """Utilisation at batch ``b``: rises from the single-frame value
+        toward the family's saturated value (1.0 for YOLO-class)."""
+        u1 = model.util_multiplier
+        u_sat = max(u1, 1.0)
+        k = self.saturation_batch
+        return u1 + (u_sat - u1) * (batch - 1) / (batch - 1 + k)
+
+    def batch_point(self, model: ModelSpec, device: DeviceSpec,
+                    batch: int) -> BatchPoint:
+        if batch < 1:
+            raise HardwareError(f"batch must be >= 1, got {batch}")
+        util = self._batch_utilisation(model, batch)
+        flops = model.gflops * GIGA * batch
+        compute_ms = 1000.0 * flops \
+            / (device.effective_tflops * TERA * util)
+        traffic = self.roofline.traffic_bytes(model)
+        # Weights are read once per batch; activations scale with b.
+        weight_bytes = model.model_size_mb * 1024 * 1024
+        act_bytes = (traffic - weight_bytes) * batch
+        memory_ms = 1000.0 * (weight_bytes + act_bytes) \
+            / (device.memory_bandwidth_gb_s * GIGA)
+        overhead_ms = device.overhead_ms_at_640 \
+            * model.input_pixels / (640 * 640)
+        post_ms = model.postprocess_ms_ref * device.cpu_factor * batch
+        total = max(compute_ms, memory_ms) + overhead_ms + post_ms
+        return BatchPoint(
+            batch=batch,
+            batch_latency_ms=total,
+            per_frame_ms=total / batch,
+            throughput_fps=1000.0 * batch / total)
+
+    def curve(self, model_name: str, device_name: str,
+              batches: Sequence[int] = (1, 2, 4, 8, 16, 32)
+              ) -> List[BatchPoint]:
+        """Throughput curve over batch sizes."""
+        m = model_spec(model_name)
+        d = device_spec(device_name)
+        return [self.batch_point(m, d, b) for b in batches]
+
+    def best_batch_under_deadline(self, model_name: str,
+                                  device_name: str,
+                                  deadline_ms: float,
+                                  max_batch: int = 64
+                                  ) -> Tuple[int, float]:
+        """Largest-throughput batch whose *batch* latency fits a
+        deadline (the serving-system formulation: a whole batch must
+        return within one period)."""
+        if deadline_ms <= 0:
+            raise HardwareError("deadline must be positive")
+        m = model_spec(model_name)
+        d = device_spec(device_name)
+        best: Optional[Tuple[int, float]] = None
+        b = 1
+        while b <= max_batch:
+            p = self.batch_point(m, d, b)
+            if p.batch_latency_ms <= deadline_ms:
+                if best is None or p.throughput_fps > best[1]:
+                    best = (b, p.throughput_fps)
+            b *= 2
+        if best is None:
+            raise HardwareError(
+                f"no batch of {model_name}@{device_name} fits "
+                f"{deadline_ms} ms")
+        return best
+
+    def drones_servable(self, model_name: str, device_name: str,
+                        per_drone_fps: float = 10.0,
+                        deadline_ms: Optional[float] = None) -> int:
+        """How many 10-FPS drone streams one device can serve.
+
+        Uses the throughput-optimal batch within the deadline (default:
+        one frame period).
+        """
+        if per_drone_fps <= 0:
+            raise HardwareError("per-drone FPS must be positive")
+        deadline = deadline_ms if deadline_ms is not None \
+            else 1000.0 / per_drone_fps
+        _, fps = self.best_batch_under_deadline(model_name, device_name,
+                                                deadline)
+        return int(fps // per_drone_fps)

@@ -1,0 +1,116 @@
+"""Stochastic per-frame latency sampling around the roofline medians.
+
+Real benchmark runs (the paper's ~1,000-image sweeps) show three effects
+beyond the median: a warm-up transient (JIT/cuDNN autotune, cache fill),
+multiplicative jitter (scheduler, DVFS, memory contention), and
+occasional heavy-tail spikes (thermal throttling on edge, background
+activity on the shared workstation).  The sampler composes:
+
+* median from the roofline model;
+* lognormal jitter with device-class-dependent σ;
+* an exponential warm-up decay over the first frames;
+* a thermal throttle multiplier from the first-order thermal model on
+  fan-limited edge devices under sustained load.
+
+Everything is seeded through :mod:`repro.rng` streams, so a benchmark's
+sample vector is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..hardware.device import DeviceSpec
+from ..hardware.power import PowerModel, ThermalState
+from ..hardware.registry import device_spec
+from ..hardware.roofline import RooflineModel
+from ..models.spec import ModelSpec, model_spec
+from ..rng import coerce_rng
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Noise/transient parameters."""
+
+    jitter_sigma_edge: float = 0.05
+    jitter_sigma_workstation: float = 0.10
+    warmup_frames: int = 25
+    warmup_peak_factor: float = 2.5      # first-frame slowdown
+    spike_probability: float = 0.004     # non-thermal tail events
+    spike_factor: float = 1.8
+    enable_thermal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma_edge < 0 or self.jitter_sigma_workstation < 0:
+            raise CalibrationError("jitter sigmas must be non-negative")
+        if self.warmup_peak_factor < 1.0 or self.spike_factor < 1.0:
+            raise CalibrationError("slowdown factors must be >= 1")
+        if not 0.0 <= self.spike_probability < 0.5:
+            raise CalibrationError("spike probability outside [0, 0.5)")
+
+
+class LatencySampler:
+    """Draws per-frame latency vectors for a (model, device) pair."""
+
+    def __init__(self, config: SamplerConfig = SamplerConfig(),
+                 roofline: Optional[RooflineModel] = None,
+                 seed: int = 7) -> None:
+        self.config = config
+        self.roofline = roofline if roofline is not None else RooflineModel()
+        self.seed = seed
+        self._power = PowerModel()
+
+    def sample(self, model: str, device: str, n_frames: int,
+               include_warmup: bool = False) -> np.ndarray:
+        """Per-frame latency samples (ms) for ``n_frames``.
+
+        With ``include_warmup`` the warm-up transient frames are included
+        at the head of the vector (the paper discards warm-up; so do the
+        benchmarks by default).
+        """
+        if n_frames <= 0:
+            raise CalibrationError(
+                f"n_frames must be positive, got {n_frames}")
+        mspec: ModelSpec = model_spec(model)
+        dspec: DeviceSpec = device_spec(device)
+        cfg = self.config
+        rng = coerce_rng(self.seed, "latency", model, device)
+
+        median = self.roofline.median_latency_ms(mspec, dspec)
+        sigma = (cfg.jitter_sigma_edge if dspec.is_edge
+                 else cfg.jitter_sigma_workstation)
+
+        total = n_frames + (0 if include_warmup else cfg.warmup_frames)
+        # Lognormal multiplicative jitter centred on the median.
+        jitter = rng.lognormal(mean=0.0, sigma=sigma, size=total)
+        samples = median * jitter
+
+        # Warm-up transient: exponential decay from peak_factor to 1.
+        decay = np.ones(total)
+        k = np.arange(min(cfg.warmup_frames, total))
+        decay[:len(k)] = 1.0 + (cfg.warmup_peak_factor - 1.0) \
+            * np.exp(-k / max(cfg.warmup_frames / 4.0, 1.0))
+        samples *= decay
+
+        # Random non-thermal spikes.
+        spikes = rng.random(total) < cfg.spike_probability
+        samples[spikes] *= cfg.spike_factor
+
+        # Thermal throttling on edge devices under sustained load.
+        if cfg.enable_thermal and dspec.is_edge:
+            thermal = ThermalState(
+                # Passive boards run hot; scale capacity with board mass.
+                heat_capacity=max((dspec.weight_g or 400.0) / 8.0, 15.0))
+            utilisation = min(mspec.util_multiplier, 1.0) * 0.9
+            power = self._power.draw_watts(dspec, utilisation)
+            for i in range(total):
+                mult = thermal.step(power, samples[i] / 1000.0)
+                samples[i] *= mult
+
+        if not include_warmup:
+            samples = samples[cfg.warmup_frames:]
+        return samples.astype(np.float64)

@@ -1,0 +1,289 @@
+"""Full-scale architecture descriptors (layer-by-layer shape accounting).
+
+These descriptors rebuild the *structure* of the benchmarked networks —
+YOLOv8/v11 backbones+necks+heads with their depth/width multiples,
+ResNet-18 for trt_pose and the Monodepth2 encoder–decoder — as lists of
+:class:`LayerShape` records carrying parameter and FLOP counts.  They
+serve three purposes:
+
+1. an honest, derivable estimate of Table 2's parameter counts (tests
+   assert the derived counts land near the paper's numbers);
+2. per-layer compute/memory profiles for the roofline latency model's
+   layer-breakdown ablation;
+3. documentation of what each variant actually is.
+
+The YOLOv11 C3k2 block is approximated as a C2f with halved bottleneck
+hidden width (the source of v11's parameter savings at matched scale);
+the attention (C2PSA) stage is folded into an equivalent-parameter conv
+stage.  Derived totals therefore land near, not exactly on, Ultralytics'
+published counts — the published numbers in :mod:`repro.models.spec`
+remain the source of truth for Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ModelError
+from ..nn.flops import conv2d_flops, conv2d_params
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """One layer's shape/compute record inside a descriptor."""
+
+    name: str
+    kind: str                  # "conv" / "c2f" / "sppf" / "detect" / ...
+    c_in: int
+    c_out: int
+    kernel: int
+    stride: int
+    out_hw: Tuple[int, int]
+    params: int
+    flops: int
+
+    @property
+    def activation_elems(self) -> int:
+        return self.c_out * self.out_hw[0] * self.out_hw[1]
+
+
+@dataclass(frozen=True)
+class ArchDescriptor:
+    """A full network as an ordered list of layer records."""
+
+    name: str
+    input_hw: Tuple[int, int]
+    layers: Tuple[LayerShape, ...]
+
+    @property
+    def total_params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(l.flops for l in self.layers)
+
+    @property
+    def total_activation_elems(self) -> int:
+        return sum(l.activation_elems for l in self.layers)
+
+
+# ---------------------------------------------------------------------------
+# Building blocks (parameter/FLOP formulas)
+# ---------------------------------------------------------------------------
+
+def _conv_bn(name: str, c1: int, c2: int, k: int, s: int,
+             hw: Tuple[int, int]) -> LayerShape:
+    oh, ow = hw[0] // s, hw[1] // s
+    params = conv2d_params(c1, c2, k) + 2 * c2  # conv + BN affine
+    flops = conv2d_flops(c1, c2, k, oh, ow)
+    return LayerShape(name, "conv", c1, c2, k, s, (oh, ow), params, flops)
+
+
+def _c2f(name: str, c1: int, c2: int, n: int, hw: Tuple[int, int],
+         hidden_frac: float = 0.5) -> LayerShape:
+    """C2f / C3k2 cross-stage block (hidden_frac=0.25 approximates C3k2)."""
+    hidden = max(int(c2 * hidden_frac), 8)
+    params = conv2d_params(c1, 2 * hidden, 1) + 2 * (2 * hidden)
+    params += conv2d_params((2 + n) * hidden, c2, 1) + 2 * c2
+    per_bn = 2 * (conv2d_params(hidden, hidden, 3) + 2 * hidden)
+    params += n * per_bn
+    h, w = hw
+    flops = conv2d_flops(c1, 2 * hidden, 1, h, w)
+    flops += conv2d_flops((2 + n) * hidden, c2, 1, h, w)
+    flops += n * 2 * conv2d_flops(hidden, hidden, 3, h, w)
+    return LayerShape(name, "c2f", c1, c2, 3, 1, hw, params, flops)
+
+
+def _sppf(name: str, c: int, hw: Tuple[int, int]) -> LayerShape:
+    hidden = c // 2
+    params = conv2d_params(c, hidden, 1) + 2 * hidden
+    params += conv2d_params(hidden * 4, c, 1) + 2 * c
+    h, w = hw
+    flops = conv2d_flops(c, hidden, 1, h, w) \
+        + conv2d_flops(hidden * 4, c, 1, h, w)
+    return LayerShape(name, "sppf", c, c, 5, 1, hw, params, flops)
+
+
+def _detect(name: str, channels: List[int], hws: List[Tuple[int, int]],
+            nc: int = 1, reg_max: int = 16) -> List[LayerShape]:
+    """Anchor-free detect head over three scales (box DFL + cls branch)."""
+    if len(channels) != len(hws):
+        raise ModelError("detect head: channels/hws mismatch")
+    c2b = max(16, channels[0] // 4, 64)
+    c2c = max(channels[0], min(nc, 100))
+    out: List[LayerShape] = []
+    for i, (ch, hw) in enumerate(zip(channels, hws)):
+        h, w = hw
+        params = (conv2d_params(ch, c2b, 3) + 2 * c2b
+                  + conv2d_params(c2b, c2b, 3) + 2 * c2b
+                  + conv2d_params(c2b, 4 * reg_max, 1, bias=True))
+        params += (conv2d_params(ch, c2c, 3) + 2 * c2c
+                   + conv2d_params(c2c, c2c, 3) + 2 * c2c
+                   + conv2d_params(c2c, nc, 1, bias=True))
+        flops = (conv2d_flops(ch, c2b, 3, h, w)
+                 + conv2d_flops(c2b, c2b, 3, h, w)
+                 + conv2d_flops(c2b, 4 * reg_max, 1, h, w)
+                 + conv2d_flops(ch, c2c, 3, h, w)
+                 + conv2d_flops(c2c, c2c, 3, h, w)
+                 + conv2d_flops(c2c, nc, 1, h, w))
+        out.append(LayerShape(f"{name}.p{i + 3}", "detect", ch,
+                              4 * reg_max + nc, 3, 1, hw, params, flops))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# YOLOv8 / YOLOv11 descriptors
+# ---------------------------------------------------------------------------
+
+#: (depth_multiple, width_multiple, max_channels) per Ultralytics scale.
+_YOLO_SCALES: Dict[str, Tuple[float, float, int]] = {
+    "n": (0.33, 0.25, 1024),
+    "m": (0.67, 0.75, 768),
+    "x": (1.00, 1.25, 512),
+}
+
+
+def build_yolo_descriptor(family: str, variant: str, nc: int = 1,
+                          input_size: int = 640) -> ArchDescriptor:
+    """YOLOv8/v11-style backbone + FPN/PAN neck + detect head."""
+    if family not in ("yolov8", "yolov11"):
+        raise ModelError(f"unknown YOLO family {family!r}")
+    if variant not in _YOLO_SCALES:
+        raise ModelError(
+            f"unknown variant {variant!r}; known: {sorted(_YOLO_SCALES)}")
+    d, w, mc = _YOLO_SCALES[variant]
+    hidden_frac = 0.5 if family == "yolov8" else 0.25  # C2f vs C3k2
+
+    def ch(c: int) -> int:
+        return max(int(round(min(c, mc) * w)), 16)
+
+    def rep(n: int) -> int:
+        return max(int(round(n * d)), 1)
+
+    s = input_size
+    layers: List[LayerShape] = []
+    hw = (s, s)
+
+    def push(layer: LayerShape) -> LayerShape:
+        layers.append(layer)
+        return layer
+
+    # Backbone.
+    l = push(_conv_bn("stem.p1", 3, ch(64), 3, 2, hw)); hw = l.out_hw
+    l = push(_conv_bn("down.p2", ch(64), ch(128), 3, 2, hw)); hw = l.out_hw
+    push(_c2f("stage.p2", ch(128), ch(128), rep(3), hw, hidden_frac))
+    l = push(_conv_bn("down.p3", ch(128), ch(256), 3, 2, hw)); hw = l.out_hw
+    push(_c2f("stage.p3", ch(256), ch(256), rep(6), hw, hidden_frac))
+    p3_hw, p3_c = hw, ch(256)
+    l = push(_conv_bn("down.p4", ch(256), ch(512), 3, 2, hw)); hw = l.out_hw
+    push(_c2f("stage.p4", ch(512), ch(512), rep(6), hw, hidden_frac))
+    p4_hw, p4_c = hw, ch(512)
+    l = push(_conv_bn("down.p5", ch(512), ch(1024), 3, 2, hw)); hw = l.out_hw
+    push(_c2f("stage.p5", ch(1024), ch(1024), rep(3), hw, hidden_frac))
+    push(_sppf("sppf", ch(1024), hw))
+    p5_hw, p5_c = hw, ch(1024)
+    if family == "yolov11":
+        # C2PSA attention stage folded into an equivalent 1×1-conv cost.
+        push(_conv_bn("c2psa", p5_c, p5_c, 1, 1, p5_hw))
+
+    # Neck: top-down (FPN) …
+    push(_c2f("fpn.p4", p5_c + p4_c, p4_c, rep(3), p4_hw, hidden_frac))
+    push(_c2f("fpn.p3", p4_c + p3_c, p3_c, rep(3), p3_hw, hidden_frac))
+    # … and bottom-up (PAN).
+    push(_conv_bn("pan.down3", p3_c, p3_c, 3, 2, p3_hw))
+    push(_c2f("pan.p4", p3_c + p4_c, p4_c, rep(3), p4_hw, hidden_frac))
+    push(_conv_bn("pan.down4", p4_c, p4_c, 3, 2, p4_hw))
+    push(_c2f("pan.p5", p4_c + p5_c, p5_c, rep(3), p5_hw, hidden_frac))
+
+    layers.extend(_detect("detect", [p3_c, p4_c, p5_c],
+                          [p3_hw, p4_hw, p5_hw], nc=nc))
+    return ArchDescriptor(name=f"{family}-{variant}",
+                          input_hw=(input_size, input_size),
+                          layers=tuple(layers))
+
+
+# ---------------------------------------------------------------------------
+# ResNet-18 descriptors (trt_pose backbone, Monodepth2 encoder)
+# ---------------------------------------------------------------------------
+
+def build_resnet18_descriptor(name: str, input_hw: Tuple[int, int],
+                              head_channels: int = 0) -> ArchDescriptor:
+    """ResNet-18: 7×7 stem + 4 stages of two basic blocks each."""
+    h, w = input_hw
+    layers: List[LayerShape] = []
+    hw = (h, w)
+    stem = _conv_bn("stem", 3, 64, 7, 2, hw)
+    layers.append(stem)
+    hw = stem.out_hw
+    hw = (hw[0] // 2, hw[1] // 2)  # 3×3 stride-2 max pool
+    chans = [64, 128, 256, 512]
+    c_in = 64
+    for si, c in enumerate(chans):
+        stride = 1 if si == 0 else 2
+        for bi in range(2):
+            s_blk = stride if bi == 0 else 1
+            l1 = _conv_bn(f"s{si}.b{bi}.c1", c_in, c, 3, s_blk, hw)
+            hw = l1.out_hw
+            l2 = _conv_bn(f"s{si}.b{bi}.c2", c, c, 3, 1, hw)
+            layers.extend([l1, l2])
+            if c_in != c:
+                layers.append(_conv_bn(f"s{si}.b{bi}.skip", c_in, c, 1,
+                                       s_blk, (hw[0] * s_blk,
+                                               hw[1] * s_blk)))
+            c_in = c
+    if head_channels:
+        layers.append(_conv_bn(f"{name}.head", 512, head_channels, 1, 1,
+                               hw))
+    return ArchDescriptor(name=name, input_hw=input_hw,
+                          layers=tuple(layers))
+
+
+def build_trt_pose_descriptor(input_size: int = 224) -> ArchDescriptor:
+    """trt_pose: ResNet-18 backbone + cmap/paf deconv heads."""
+    base = build_resnet18_descriptor("trt_pose.backbone",
+                                     (input_size, input_size))
+    layers = list(base.layers)
+    hw = layers[-1].out_hw
+    # Three transposed-conv upsampling stages + cmap (18ch) / paf (42ch)
+    # output heads, approximated as equivalently-sized convs.
+    c_in = 512
+    for i, c in enumerate((256, 128, 64)):
+        hw = (hw[0] * 2, hw[1] * 2)
+        layers.append(_conv_bn(f"deconv{i}", c_in, c, 4, 1, hw))
+        c_in = c
+    layers.append(_conv_bn("cmap", 64, 18, 1, 1, hw))
+    layers.append(_conv_bn("paf", 64, 42, 1, 1, hw))
+    return ArchDescriptor("trt_pose", (input_size, input_size),
+                          tuple(layers))
+
+
+def build_monodepth2_descriptor(input_hw: Tuple[int, int] = (192, 640)
+                                ) -> ArchDescriptor:
+    """Monodepth2: ResNet-18 encoder + multi-scale skip decoder."""
+    enc = build_resnet18_descriptor("monodepth2.encoder", input_hw)
+    layers = list(enc.layers)
+    hw = layers[-1].out_hw
+    c_in = 512
+    skips = [256, 128, 64, 64, 0]
+    for i, c in enumerate((256, 128, 64, 32, 16)):
+        layers.append(_conv_bn(f"dec{i}.a", c_in, c, 3, 1, hw))
+        hw = (hw[0] * 2, hw[1] * 2)
+        layers.append(_conv_bn(f"dec{i}.b", c + skips[i], c, 3, 1, hw))
+        # Per-scale disparity output (the multi-scale supervision heads).
+        layers.append(_conv_bn(f"disp{i}", c, 1, 3, 1, hw))
+        c_in = c
+    return ArchDescriptor("monodepth2", input_hw, tuple(layers))
+
+
+def descriptor_for(model_name: str) -> ArchDescriptor:
+    """Descriptor for any Table 2 model by canonical name."""
+    if model_name.startswith("yolov"):
+        family, variant = model_name.rsplit("-", 1)
+        return build_yolo_descriptor(family, variant)
+    if model_name == "trt_pose":
+        return build_trt_pose_descriptor()
+    if model_name == "monodepth2":
+        return build_monodepth2_descriptor()
+    raise ModelError(f"no descriptor for {model_name!r}")

@@ -1,0 +1,9 @@
+"""Monocular depth estimation substrate (Monodepth2 substitute)."""
+
+from .mini import MiniDepth, MiniDepthConfig, DepthTrainer
+from .metrics import depth_metrics, DepthMetrics
+
+__all__ = [
+    "MiniDepth", "MiniDepthConfig", "DepthTrainer",
+    "depth_metrics", "DepthMetrics",
+]

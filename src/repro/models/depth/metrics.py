@@ -1,0 +1,59 @@
+"""Standard monocular-depth evaluation metrics (Eigen protocol).
+
+AbsRel, RMSE and the δ < 1.25ⁿ accuracy thresholds — the metrics the
+Monodepth2 paper reports.  Our paper does not report depth accuracy
+("sourced from existing repositories, we do not report their
+accuracies", §4.2); we compute them anyway to validate the substitute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import TrainingError
+
+
+@dataclass(frozen=True)
+class DepthMetrics:
+    """Aggregate depth-estimation metrics over a batch."""
+
+    abs_rel: float
+    rmse: float
+    delta1: float   # fraction with max(d/d̂, d̂/d) < 1.25
+    delta2: float   # … < 1.25²
+    delta3: float   # … < 1.25³
+
+    def as_dict(self) -> dict:
+        return {
+            "abs_rel": self.abs_rel, "rmse": self.rmse,
+            "delta1": self.delta1, "delta2": self.delta2,
+            "delta3": self.delta3,
+        }
+
+
+def depth_metrics(pred: np.ndarray, truth: np.ndarray,
+                  min_depth: float = 0.5,
+                  max_depth: float = 80.0) -> DepthMetrics:
+    """Compute metrics over valid pixels of matching depth arrays."""
+    pred = np.asarray(pred, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if pred.shape != truth.shape:
+        raise TrainingError(
+            f"depth shapes differ: {pred.shape} vs {truth.shape}")
+    valid = (truth > min_depth) & (truth < max_depth) & (pred > 0)
+    if not valid.any():
+        raise TrainingError("no valid pixels for depth metrics")
+    p = np.clip(pred[valid], min_depth, max_depth)
+    t = truth[valid]
+    abs_rel = float(np.mean(np.abs(p - t) / t))
+    rmse = float(np.sqrt(np.mean((p - t) ** 2)))
+    ratio = np.maximum(p / t, t / p)
+    return DepthMetrics(
+        abs_rel=abs_rel,
+        rmse=rmse,
+        delta1=float(np.mean(ratio < 1.25)),
+        delta2=float(np.mean(ratio < 1.25 ** 2)),
+        delta3=float(np.mean(ratio < 1.25 ** 3)),
+    )

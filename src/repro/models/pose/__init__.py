@@ -1,0 +1,11 @@
+"""Body-pose estimation substrate (trt_pose substitute) + fall SVM."""
+
+from .mini import MiniPose, MiniPoseConfig, PoseTrainer, make_heatmaps
+from .decode import decode_heatmaps, keypoint_error
+from .fall_svm import LinearSVM, FallClassifier
+
+__all__ = [
+    "MiniPose", "MiniPoseConfig", "PoseTrainer", "make_heatmaps",
+    "decode_heatmaps", "keypoint_error",
+    "LinearSVM", "FallClassifier",
+]

@@ -1,0 +1,67 @@
+"""Heatmap decoding: per-channel peak picking → keypoint coordinates.
+
+With a single tracked person (the VIP) per frame, trt_pose's
+part-affinity association reduces to taking the maximum of each keypoint
+channel; sub-cell refinement uses the soft-argmax over a 3×3 window
+around the peak.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...errors import ShapeError
+from ...geometry.keypoints import NUM_KEYPOINTS, KeypointSet
+
+
+def decode_heatmaps(heatmaps: np.ndarray, stride: int,
+                    min_peak: float = 0.1) -> List[KeypointSet]:
+    """Batch heatmaps ``(N, K, G, G)`` → per-image keypoint sets.
+
+    Keypoints whose peak value falls below ``min_peak`` are marked
+    invisible.  Coordinates are returned in image pixels.
+    """
+    if heatmaps.ndim != 4:
+        raise ShapeError(f"expected (N, K, G, G), got {heatmaps.shape}")
+    n, k, g, _ = heatmaps.shape
+    if k != NUM_KEYPOINTS:
+        raise ShapeError(
+            f"{k} heatmap channels for {NUM_KEYPOINTS} keypoints")
+    flat = heatmaps.reshape(n, k, g * g)
+    arg = flat.argmax(axis=-1)                      # (N, K)
+    peak = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    py = (arg // g).astype(np.float64)
+    px = (arg % g).astype(np.float64)
+
+    # Soft-argmax refinement in a 3×3 neighbourhood around each peak.
+    out: List[KeypointSet] = []
+    for i in range(n):
+        pts = np.zeros((k, 3), dtype=np.float64)
+        for j in range(k):
+            cy, cx = int(py[i, j]), int(px[i, j])
+            y0, y1 = max(cy - 1, 0), min(cy + 2, g)
+            x0, x1 = max(cx - 1, 0), min(cx + 2, g)
+            win = np.clip(heatmaps[i, j, y0:y1, x0:x1], 0.0, None)
+            total = float(win.sum())
+            if total > 1e-9:
+                ys, xs = np.meshgrid(np.arange(y0, y1),
+                                     np.arange(x0, x1), indexing="ij")
+                ref_y = float((win * ys).sum() / total)
+                ref_x = float((win * xs).sum() / total)
+            else:
+                ref_y, ref_x = float(cy), float(cx)
+            vis = 1.0 if peak[i, j] >= min_peak else 0.0
+            pts[j] = ((ref_x + 0.5) * stride, (ref_y + 0.5) * stride, vis)
+        out.append(KeypointSet(pts))
+    return out
+
+
+def keypoint_error(pred: KeypointSet, truth: KeypointSet) -> float:
+    """Mean pixel error over ground-truth-visible keypoints."""
+    vis = truth.visible
+    if not vis.any():
+        raise ShapeError("no visible ground-truth keypoints")
+    d = np.linalg.norm(pred.xy[vis] - truth.xy[vis], axis=1)
+    return float(d.mean())

@@ -1,0 +1,145 @@
+"""Executable mini pose model: heatmap regression over body keypoints.
+
+The trt_pose substitute: a small convolutional encoder producing one
+heatmap per keypoint at stride 4 (trt_pose itself regresses confidence
+maps + part-affinity fields; with a single person per frame the PAF
+association step reduces to per-channel peak picking, which
+:mod:`repro.models.pose.decode` implements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import ShapeError, TrainingError
+from ...geometry.keypoints import NUM_KEYPOINTS, KeypointSet
+from ...nn.blocks import ConvBNAct, CSPBlock
+from ...nn.layers import Conv2d
+from ...nn.losses import heatmap_loss
+from ...nn.network import Sequential, clip_grads_, count_parameters
+from ...nn.optim import Adam
+from ...rng import make_rng
+
+
+@dataclass(frozen=True)
+class MiniPoseConfig:
+    """Mini pose network configuration."""
+
+    image_size: int = 64
+    stride: int = 4
+    base_channels: int = 12
+    num_keypoints: int = NUM_KEYPOINTS
+    sigma_px: float = 1.5     # heatmap target Gaussian width (grid units)
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.stride:
+            raise ShapeError(
+                f"image size {self.image_size} not divisible by stride "
+                f"{self.stride}")
+
+    @property
+    def grid(self) -> int:
+        return self.image_size // self.stride
+
+
+class MiniPose:
+    """Heatmap keypoint network (ResNet-ish mini encoder)."""
+
+    def __init__(self, config: MiniPoseConfig = MiniPoseConfig(),
+                 seed: int = 7) -> None:
+        self.config = config
+        rng = make_rng(seed, "mini-pose")
+        c = config.base_channels
+        self.net = Sequential([
+            ConvBNAct(3, c, 3, stride=2, rng=rng),       # /2
+            ConvBNAct(c, 2 * c, 3, stride=2, rng=rng),   # /4
+            CSPBlock(2 * c, 2 * c, n=1, rng=rng),
+            ConvBNAct(2 * c, 2 * c, 3, rng=rng),
+            Conv2d(2 * c, config.num_keypoints, 1, bias=True, rng=rng),
+        ], name="mini-pose")
+
+    def forward(self, images: np.ndarray,
+                training: bool = True) -> np.ndarray:
+        """Images NCHW → heatmaps ``(N, K, G, G)`` (raw, unbounded)."""
+        if images.ndim != 4 or images.shape[1] != 3:
+            raise ShapeError(f"expected (N, 3, H, W), got {images.shape}")
+        return self.net.forward(images, training=training)
+
+    def num_parameters(self) -> int:
+        return count_parameters(self.net)
+
+
+def make_heatmaps(keypoints: Sequence[Optional[KeypointSet]],
+                  config: MiniPoseConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Ground-truth Gaussian heatmaps and a per-keypoint validity mask.
+
+    Returns ``(heatmaps (N, K, G, G), valid (N, K))``.  Frames without a
+    VIP (``None`` keypoints) contribute all-zero maps and zero mask.
+    """
+    g = config.grid
+    k = config.num_keypoints
+    n = len(keypoints)
+    maps = np.zeros((n, k, g, g), dtype=np.float32)
+    valid = np.zeros((n, k), dtype=bool)
+    ys, xs = np.meshgrid(np.arange(g, dtype=np.float32),
+                         np.arange(g, dtype=np.float32), indexing="ij")
+    two_s2 = 2.0 * config.sigma_px ** 2
+    for i, kps in enumerate(keypoints):
+        if kps is None:
+            continue
+        pts = kps.points
+        for j in range(k):
+            x, y, vis = pts[j]
+            if vis < 0.5:
+                continue
+            gx, gy = x / config.stride, y / config.stride
+            if not (0 <= gx < g and 0 <= gy < g):
+                continue
+            maps[i, j] = np.exp(-((xs - gx) ** 2 + (ys - gy) ** 2)
+                                / two_s2)
+            valid[i, j] = True
+    return maps, valid
+
+
+class PoseTrainer:
+    """Adam training loop for :class:`MiniPose` on heatmap targets."""
+
+    def __init__(self, model: MiniPose, lr: float = 5e-3,
+                 epochs: int = 25, batch_size: int = 16,
+                 seed: int = 7) -> None:
+        if epochs <= 0 or batch_size <= 0:
+            raise TrainingError("epochs and batch_size must be positive")
+        self.model = model
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.optimizer = Adam(model.net.params(), model.net.grads(), lr=lr)
+        self.rng = make_rng(seed, "pose-train")
+
+    def fit(self, images: np.ndarray,
+            keypoints: Sequence[Optional[KeypointSet]]) -> List[float]:
+        """Train; returns per-epoch mean losses."""
+        n = len(images)
+        if n == 0 or n != len(keypoints):
+            raise TrainingError(
+                f"bad training data: {n} images, {len(keypoints)} "
+                "keypoint sets")
+        targets, _ = make_heatmaps(keypoints, self.model.config)
+        history: List[float] = []
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            losses = []
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                pred = self.model.forward(images[idx], training=True)
+                loss, grad = heatmap_loss(pred, targets[idx])
+                self.model.net.backward(grad)
+                clip_grads_(self.model.net, 10.0)
+                self.optimizer.step()
+                losses.append(loss)
+            history.append(float(np.mean(losses)))
+        if not np.isfinite(history[-1]):
+            raise TrainingError("pose training diverged")
+        return history

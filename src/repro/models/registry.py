@@ -1,0 +1,78 @@
+"""Model registry: canonical names → spec / descriptor / mini builder.
+
+One lookup table ties the three representations of each model together
+so benchmarks and examples never hard-code construction logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ModelError
+from .arch import ArchDescriptor, descriptor_for
+from .spec import ALL_MODEL_ORDER, ModelSpec, PAPER_MODELS
+from .yolo.mini import MiniYolo, build_mini_yolo
+
+
+def _yolo_builder(family: str, variant: str) -> Callable[..., MiniYolo]:
+    def build(seed: int = 7, image_size: int = None) -> MiniYolo:
+        return build_mini_yolo(family, variant, seed=seed,
+                               image_size=image_size)
+    return build
+
+
+def _pose_builder(seed: int = 7, image_size: int = None):
+    from .pose.mini import MiniPose, MiniPoseConfig
+    cfg = (MiniPoseConfig(image_size=image_size)
+           if image_size else MiniPoseConfig())
+    return MiniPose(cfg, seed=seed)
+
+
+def _depth_builder(seed: int = 7, image_size: int = None):
+    from .depth.mini import MiniDepth, MiniDepthConfig
+    cfg = (MiniDepthConfig(image_size=image_size)
+           if image_size else MiniDepthConfig())
+    return MiniDepth(cfg, seed=seed)
+
+
+#: name → mini-model builder (callable(seed, image_size)).
+MODEL_REGISTRY: Dict[str, Callable] = {
+    "yolov8-n": _yolo_builder("yolov8", "n"),
+    "yolov8-m": _yolo_builder("yolov8", "m"),
+    "yolov8-x": _yolo_builder("yolov8", "x"),
+    "yolov11-n": _yolo_builder("yolov11", "n"),
+    "yolov11-m": _yolo_builder("yolov11", "m"),
+    "yolov11-x": _yolo_builder("yolov11", "x"),
+    "trt_pose": _pose_builder,
+    "monodepth2": _depth_builder,
+}
+
+
+def build_mini_model(name: str, seed: int = 7, image_size: int = None):
+    """Construct the executable mini model for a canonical model name."""
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return builder(seed=seed, image_size=image_size)
+
+
+def registry_consistency_check() -> bool:
+    """Every paper model has a spec, a descriptor and a mini builder."""
+    for name in ALL_MODEL_ORDER:
+        if name not in PAPER_MODELS:
+            raise ModelError(f"{name} missing from PAPER_MODELS")
+        if name not in MODEL_REGISTRY:
+            raise ModelError(f"{name} missing from MODEL_REGISTRY")
+        desc: ArchDescriptor = descriptor_for(name)
+        spec: ModelSpec = PAPER_MODELS[name]
+        # Derived parameter counts must land in the right ballpark of the
+        # paper's Table 2 (the descriptors approximate v11's C3k2/C2PSA).
+        ratio = desc.total_params / spec.params
+        if not 0.3 <= ratio <= 3.0:
+            raise ModelError(
+                f"{name}: derived params {desc.total_params / 1e6:.2f}M "
+                f"implausible vs paper {spec.params_millions}M")
+    return True

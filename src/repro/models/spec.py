@@ -1,0 +1,180 @@
+"""Full-scale model specifications (paper Table 2 + runtime profile).
+
+Each :class:`ModelSpec` records:
+
+* the paper's published numbers (Table 2): parameters in millions and
+  serialized model size in MB;
+* the model's compute profile used by the roofline latency model:
+  GFLOPs per inference at its native input resolution (Ultralytics'
+  published GFLOPs for the YOLO variants; standard values for the
+  ResNet-18-based models), a *utilisation multiplier* capturing how well
+  the architecture saturates a GPU under the paper's PyTorch 2.0 FP32
+  deployment (trt_pose is TensorRT-optimised → multiplier > 1;
+  Monodepth2's multi-scale decoder is launch/memory-bound → ≪ 1), and a
+  CPU post-processing cost at a reference CPU (NMS for YOLO, part-affinity
+  matching for pose, colormap/IO for depth).
+
+The utilisation multipliers and post-processing costs are calibration
+constants; :mod:`repro.latency.calibration` documents the paper anchors
+each one is fitted to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ModelError
+from ..units import MEGA
+
+
+class ModelTask(enum.Enum):
+    """The three situation-awareness tasks of the VIP application."""
+
+    VEST_DETECTION = "vest_detection"
+    POSE_ESTIMATION = "pose_estimation"
+    DEPTH_ESTIMATION = "depth_estimation"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Full-scale model descriptor (paper-reported + runtime profile)."""
+
+    name: str                     # canonical, e.g. "yolov8-n"
+    family: str                   # "yolov8", "yolov11", "trt_pose", ...
+    variant: str                  # "n" / "m" / "x" / "-"
+    task: ModelTask
+    architecture: str             # Table 2 'Architecture' column
+    params_millions: float        # Table 2
+    model_size_mb: float          # Table 2
+    gflops: float                 # per inference at native input
+    input_hw: Tuple[int, int]     # native input resolution (H, W)
+    util_multiplier: float        # GPU saturation factor (see module doc)
+    postprocess_ms_ref: float     # CPU post-processing at reference CPU
+
+    def __post_init__(self) -> None:
+        if self.params_millions <= 0 or self.model_size_mb <= 0:
+            raise ModelError(f"{self.name}: sizes must be positive")
+        if self.gflops <= 0 or self.util_multiplier <= 0:
+            raise ModelError(f"{self.name}: compute profile must be "
+                             "positive")
+        if self.postprocess_ms_ref < 0:
+            raise ModelError(f"{self.name}: post-processing cost negative")
+        if min(self.input_hw) <= 0:
+            raise ModelError(f"{self.name}: bad input {self.input_hw}")
+
+    @property
+    def params(self) -> int:
+        """Raw parameter count."""
+        return int(self.params_millions * MEGA)
+
+    @property
+    def input_pixels(self) -> int:
+        return self.input_hw[0] * self.input_hw[1]
+
+    @property
+    def is_detector(self) -> bool:
+        return self.task is ModelTask.VEST_DETECTION
+
+
+def _yolo(name: str, family: str, variant: str, params_m: float,
+          size_mb: float, gflops: float, util: float) -> ModelSpec:
+    return ModelSpec(
+        name=name, family=family, variant=variant,
+        task=ModelTask.VEST_DETECTION, architecture="YOLO",
+        params_millions=params_m, model_size_mb=size_mb, gflops=gflops,
+        input_hw=(640, 640), util_multiplier=util,
+        # Greedy NMS on a single-class head is cheap.
+        postprocess_ms_ref=1.5,
+    )
+
+
+#: Table 2, with compute profiles.  Params/MB are the paper's values;
+#: GFLOPs are Ultralytics' published numbers at 640×640.  Utilisation:
+#: small models underutilise the GPU (kernel-launch bound), hence the
+#: n < m < x ordering.
+PAPER_MODELS: Dict[str, ModelSpec] = {
+    spec.name: spec for spec in (
+        _yolo("yolov8-n", "yolov8", "n", 3.2, 5.95, 8.7, util=0.75),
+        _yolo("yolov8-m", "yolov8", "m", 25.9, 49.61, 78.9, util=0.90),
+        _yolo("yolov8-x", "yolov8", "x", 68.2, 130.38, 257.8, util=1.00),
+        _yolo("yolov11-n", "yolov11", "n", 2.6, 5.22, 6.5, util=0.75),
+        _yolo("yolov11-m", "yolov11", "m", 20.1, 38.64, 68.0, util=0.90),
+        _yolo("yolov11-x", "yolov11", "x", 56.9, 109.09, 194.9, util=1.00),
+        ModelSpec(
+            name="trt_pose", family="trt_pose", variant="-",
+            task=ModelTask.POSE_ESTIMATION, architecture="ResNet-18",
+            params_millions=12.8, model_size_mb=25.0,
+            gflops=3.6, input_hw=(224, 224),
+            # TensorRT FP16 engine: effective throughput well above the
+            # FP32 PyTorch baseline the YOLO models run under …
+            util_multiplier=2.5,
+            # … but part-affinity-field matching on the CPU dominates
+            # (paper Fig. 5c: 28–47 ms medians on edge devices).
+            postprocess_ms_ref=39.0,
+        ),
+        ModelSpec(
+            name="monodepth2", family="monodepth2", variant="-",
+            task=ModelTask.DEPTH_ESTIMATION, architecture="ResNet-18",
+            params_millions=14.84, model_size_mb=98.7,
+            gflops=9.3, input_hw=(192, 640),
+            # Multi-scale decoder with per-level upsampling: dozens of
+            # small kernels + full-resolution activations → launch- and
+            # memory-bound, poor GPU saturation (paper Fig. 5d: 75–232 ms
+            # on edge despite ResNet-18-class FLOPs).
+            util_multiplier=0.16,
+            # Full-resolution disparity copy-back + colormap on the host.
+            postprocess_ms_ref=10.0,
+        ),
+    )
+}
+
+#: Order in which the paper's figures present the YOLO variants.
+YOLO_ORDER: Tuple[str, ...] = (
+    "yolov8-n", "yolov8-m", "yolov8-x",
+    "yolov11-n", "yolov11-m", "yolov11-x",
+)
+
+#: Order of all models in the latency figures (Figs. 5, 6).
+ALL_MODEL_ORDER: Tuple[str, ...] = YOLO_ORDER + ("trt_pose", "monodepth2")
+
+
+def model_spec(name: str) -> ModelSpec:
+    """Look up a full-scale model by canonical name."""
+    try:
+        return PAPER_MODELS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; known: {sorted(PAPER_MODELS)}"
+        ) from None
+
+
+def yolo_variants(family: str = None) -> List[ModelSpec]:
+    """The six retrained YOLO variants (optionally one family)."""
+    out = [PAPER_MODELS[n] for n in YOLO_ORDER]
+    if family is not None:
+        out = [s for s in out if s.family == family]
+        if not out:
+            raise ModelError(f"unknown YOLO family {family!r}")
+    return out
+
+
+def table2_rows() -> List[Tuple[str, str, str, float, float]]:
+    """Rows of Table 2: (category, architecture, model, params M, MB)."""
+    cat = {
+        ModelTask.VEST_DETECTION: "Vest Detection",
+        ModelTask.POSE_ESTIMATION: "Pose Detection",
+        ModelTask.DEPTH_ESTIMATION: "Depth Estimation",
+    }
+    rows = []
+    for name in ALL_MODEL_ORDER:
+        s = PAPER_MODELS[name]
+        if s.name.startswith("yolov"):
+            display = "v" + s.name[len("yolov"):]
+        else:
+            display = {"trt_pose": "trt_pose",
+                       "monodepth2": "Monodepth2"}[s.name]
+        rows.append((cat[s.task], s.architecture, display,
+                     s.params_millions, s.model_size_mb))
+    return rows

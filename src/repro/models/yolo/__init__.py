@@ -1,0 +1,11 @@
+"""YOLO-family detectors: full-scale descriptors + executable minis."""
+
+from .mini import MiniYolo, MiniYoloConfig, MINI_YOLO_VARIANTS
+from .postprocess import decode_predictions, Detection
+from .train import DetectorTrainer, DetectorTrainResult
+
+__all__ = [
+    "MiniYolo", "MiniYoloConfig", "MINI_YOLO_VARIANTS",
+    "decode_predictions", "Detection",
+    "DetectorTrainer", "DetectorTrainResult",
+]

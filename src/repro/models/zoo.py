@@ -1,0 +1,103 @@
+"""Model zoo: train-once, cache, reload for the executable minis.
+
+Examples and benchmarks repeatedly need "a trained mini detector"; this
+module gives them a content-addressed cache: the checkpoint key encodes
+everything that determines the weights (model name, seed, dataset
+fraction, epochs, image size), so a cache hit is exactly the model a
+fresh training run would produce.
+
+The cache directory defaults to ``~/.cache/ocularone-repro`` and is
+overridable (tests point it at a tmpdir).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dataset.builder import DatasetBuilder
+from ..errors import ModelError
+from ..models.registry import build_mini_model
+from ..models.yolo.mini import MiniYolo
+from ..models.yolo.train import DetectorTrainer, frames_to_arrays
+
+DEFAULT_CACHE_DIR = os.path.expanduser("~/.cache/ocularone-repro")
+
+
+@dataclass(frozen=True)
+class ZooSpec:
+    """Everything that determines a cached detector's weights."""
+
+    model_name: str = "yolov8-n"
+    seed: int = 7
+    dataset_fraction: float = 0.015
+    train_images: int = 160
+    epochs: int = 30
+    image_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0 < self.dataset_fraction <= 1:
+            raise ModelError("dataset_fraction outside (0, 1]")
+        if min(self.train_images, self.epochs, self.image_size) <= 0:
+            raise ModelError("zoo spec sizes must be positive")
+
+    @property
+    def cache_key(self) -> str:
+        return (f"{self.model_name}_s{self.seed}"
+                f"_f{self.dataset_fraction:g}_n{self.train_images}"
+                f"_e{self.epochs}_i{self.image_size}")
+
+
+class ModelZoo:
+    """Checkpoint cache around mini-detector training."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir or DEFAULT_CACHE_DIR
+
+    def _path(self, spec: ZooSpec) -> str:
+        return os.path.join(self.cache_dir, spec.cache_key + ".npz")
+
+    def is_cached(self, spec: ZooSpec) -> bool:
+        return os.path.exists(self._path(spec))
+
+    def train(self, spec: ZooSpec) -> MiniYolo:
+        """Train from scratch per the spec (no cache interaction)."""
+        builder = DatasetBuilder(seed=spec.seed,
+                                 image_size=spec.image_size)
+        index = builder.build_scaled(spec.dataset_fraction)
+        clean = [r for r in index
+                 if r.subcategory_key != "adversarial/all"]
+        if len(clean) < spec.train_images:
+            raise ModelError(
+                f"dataset fraction {spec.dataset_fraction} yields only "
+                f"{len(clean)} clean frames for "
+                f"{spec.train_images} requested")
+        frames = builder.render_records(clean[:spec.train_images])
+        images, boxes = frames_to_arrays(frames)
+        model = build_mini_model(spec.model_name, seed=spec.seed,
+                                 image_size=spec.image_size)
+        DetectorTrainer(model, epochs=spec.epochs,
+                        seed=spec.seed).fit(images, boxes)
+        return model
+
+    def load_or_train(self, spec: ZooSpec = ZooSpec()) -> MiniYolo:
+        """Return the cached detector, training and caching on miss."""
+        path = self._path(spec)
+        if os.path.exists(path):
+            model = build_mini_model(spec.model_name, seed=spec.seed,
+                                     image_size=spec.image_size)
+            model.load(path)
+            return model
+        model = self.train(spec)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        model.save(path)
+        return model
+
+    def evict(self, spec: ZooSpec) -> bool:
+        """Remove one cached checkpoint; returns whether it existed."""
+        path = self._path(spec)
+        if os.path.exists(path):
+            os.remove(path)
+            return True
+        return False

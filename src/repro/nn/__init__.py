@@ -1,0 +1,53 @@
+"""A from-scratch NumPy deep-learning substrate.
+
+This replaces PyTorch for the executable *mini* models (detector, pose,
+depth).  Design notes, per the HPC-parallel guides:
+
+* tensors are NCHW float32 throughout; convolution uses an im2col +
+  GEMM formulation so the hot loop is a single large matrix multiply
+  (BLAS-backed), not Python-level iteration;
+* ``sliding_window_view`` provides the im2col patches as a *view* — the
+  only copy is the one reshape into GEMM layout;
+* every layer implements ``forward``/``backward`` with cached
+  activations, exposes ``params()``/``grads()`` dicts, and is
+  gradient-checked in the test suite.
+"""
+
+from .init import he_init, xavier_init, zeros_init
+from .layers import (
+    Layer,
+    Conv2d,
+    BatchNorm2d,
+    SiLU,
+    LeakyReLU,
+    ReLU,
+    MaxPool2d,
+    Upsample2x,
+    Linear,
+    Flatten,
+    sigmoid,
+)
+from .blocks import ConvBNAct, ResidualBlock, CSPBlock, SPPFBlock
+from .network import Sequential, count_parameters
+from .optim import SGD, Adam, CosineWarmupSchedule
+from .losses import (
+    bce_with_logits,
+    bce_with_logits_grad,
+    mse_loss,
+    smooth_l1,
+    smooth_l1_grad,
+    ciou,
+)
+from .flops import conv2d_flops, linear_flops, layer_memory_bytes
+
+__all__ = [
+    "he_init", "xavier_init", "zeros_init",
+    "Layer", "Conv2d", "BatchNorm2d", "SiLU", "LeakyReLU", "ReLU",
+    "MaxPool2d", "Upsample2x", "Linear", "Flatten", "sigmoid",
+    "ConvBNAct", "ResidualBlock", "CSPBlock", "SPPFBlock",
+    "Sequential", "count_parameters",
+    "SGD", "Adam", "CosineWarmupSchedule",
+    "bce_with_logits", "bce_with_logits_grad", "mse_loss",
+    "smooth_l1", "smooth_l1_grad", "ciou",
+    "conv2d_flops", "linear_flops", "layer_memory_bytes",
+]

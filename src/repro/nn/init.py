@@ -1,0 +1,49 @@
+"""Weight initialisation schemes.
+
+He (Kaiming) initialisation for layers followed by ReLU-family
+activations (everything in the YOLO-style backbones), Xavier for linear
+heads.  All initialisers take an explicit generator so model builds are
+reproducible under :mod:`repro.rng` streams.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Fan-in/fan-out for conv (OIHW) or linear (out, in) weight shapes."""
+    if len(shape) == 4:
+        out_c, in_c, kh, kw = shape
+        receptive = kh * kw
+        return in_c * receptive, out_c * receptive
+    if len(shape) == 2:
+        out_f, in_f = shape
+        return in_f, out_f
+    raise ModelError(f"unsupported weight shape {tuple(shape)}")
+
+
+def he_init(shape: Sequence[int],
+            rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation (std = sqrt(2 / fan_in))."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=tuple(shape)).astype(np.float32)
+
+
+def xavier_init(shape: Sequence[int],
+                rng: np.random.Generator) -> np.ndarray:
+    """Xavier-uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=tuple(shape)).astype(np.float32)
+
+
+def zeros_init(shape: Sequence[int],
+               rng: np.random.Generator = None) -> np.ndarray:
+    """Zero initialisation (biases, batchnorm shift)."""
+    return np.zeros(tuple(shape), dtype=np.float32)

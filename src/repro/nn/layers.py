@@ -1,0 +1,408 @@
+"""Neural-network layers with forward/backward passes (NCHW, float32).
+
+Convolution is im2col + GEMM: patches come from
+``numpy.lib.stride_tricks.sliding_window_view`` (a view, no copy), and the
+single ``cols @ W.T`` matmul does all the arithmetic — the vectorisation
+pattern the HPC guides prescribe.  ``col2im`` scatter-adds gradients back
+with a loop over the (small) kernel footprint only, never over pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import ShapeError
+from .init import he_init, xavier_init, zeros_init
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float32)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class Layer:
+    """Base layer: forward/backward with cached state, parameter access."""
+
+    name: str = "layer"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameters by name (shared mutable arrays)."""
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys (valid after backward)."""
+        return {}
+
+    def buffers(self) -> Dict[str, np.ndarray]:
+        """Non-trainable state that checkpoints must carry (e.g.
+        BatchNorm running statistics)."""
+        return {}
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Conv2d(Layer):
+    """2-D convolution (OIHW weights), stride/pad, optional bias."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, padding: Optional[int] = None,
+                 bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if min(in_channels, out_channels, kernel, stride) < 1:
+            raise ShapeError(
+                f"bad conv config: in={in_channels} out={out_channels} "
+                f"k={kernel} s={stride}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = kernel // 2 if padding is None else padding
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.weight = he_init(
+            (out_channels, in_channels, kernel, kernel), gen)
+        self.bias = zeros_init((out_channels,)) if bias else None
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias) if bias else None
+        self._cache: Optional[Tuple] = None
+        self.name = f"conv{kernel}x{kernel}"
+
+    def _check_input(self, x: np.ndarray) -> None:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"conv expects (N, {self.in_channels}, H, W), got "
+                f"{x.shape}")
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._check_input(x)
+        n, _, h, w = x.shape
+        k, s, p = self.kernel, self.stride, self.padding
+        if p:
+            xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        else:
+            xp = x
+        hp, wp = xp.shape[2], xp.shape[3]
+        ho = (hp - k) // s + 1
+        wo = (wp - k) // s + 1
+        if ho < 1 or wo < 1:
+            raise ShapeError(
+                f"conv output empty for input {x.shape} (k={k}, s={s}, "
+                f"p={p})")
+        # (N, C, Ho*, Wo*, k, k) view; strided to the requested stride.
+        win = sliding_window_view(xp, (k, k), axis=(2, 3))[:, :, ::s, ::s]
+        # GEMM layout: rows = output positions, cols = receptive field.
+        cols = win.transpose(0, 2, 3, 1, 4, 5).reshape(
+            n * ho * wo, self.in_channels * k * k)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T
+        if self.bias is not None:
+            out += self.bias
+        out = out.reshape(n, ho, wo, self.out_channels)
+        out = np.ascontiguousarray(out.transpose(0, 3, 1, 2),
+                                   dtype=np.float32)
+        if training:
+            self._cache = (x.shape, cols, (n, ho, wo, hp, wp))
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward before forward in Conv2d")
+        x_shape, cols, (n, ho, wo, hp, wp) = self._cache
+        k, s, p = self.kernel, self.stride, self.padding
+        g = grad_out.transpose(0, 2, 3, 1).reshape(
+            n * ho * wo, self.out_channels)
+        w_mat = self.weight.reshape(self.out_channels, -1)
+        self.dweight[...] = (g.T @ cols).reshape(self.weight.shape)
+        if self.bias is not None:
+            self.dbias[...] = g.sum(axis=0)
+        dcols = g @ w_mat  # (N*Ho*Wo, C*k*k)
+        dcols = dcols.reshape(n, ho, wo, self.in_channels, k, k)
+        dcols = dcols.transpose(0, 3, 4, 5, 1, 2)  # (N, C, k, k, Ho, Wo)
+        dxp = np.zeros((n, self.in_channels, hp, wp), dtype=np.float32)
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i:i + s * ho:s, j:j + s * wo:s] += dcols[:, :, i, j]
+        if p:
+            return dxp[:, :, p:hp - p, p:wp - p]
+        return dxp
+
+    def params(self) -> Dict[str, np.ndarray]:
+        out = {"weight": self.weight}
+        if self.bias is not None:
+            out["bias"] = self.bias
+        return out
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        out = {"weight": self.dweight}
+        if self.bias is not None:
+            out["bias"] = self.dbias
+        return out
+
+
+class BatchNorm2d(Layer):
+    """Batch normalisation over (N, H, W) per channel with running stats."""
+
+    def __init__(self, channels: int, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        if channels < 1:
+            raise ShapeError(f"bad channel count {channels}")
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(channels, dtype=np.float32)
+        self.beta = np.zeros(channels, dtype=np.float32)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._cache: Optional[Tuple] = None
+        self.name = "batchnorm"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"batchnorm expects (N, {self.channels}, H, W), got "
+                f"{x.shape}")
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) \
+            * inv_std[None, :, None, None]
+        out = (self.gamma[None, :, None, None] * x_hat
+               + self.beta[None, :, None, None]).astype(np.float32)
+        if training:
+            self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward before forward in BatchNorm2d")
+        x_hat, inv_std, shape = self._cache
+        n, _, h, w = shape
+        m = n * h * w
+        self.dgamma[...] = (grad_out * x_hat).sum(axis=(0, 2, 3))
+        self.dbeta[...] = grad_out.sum(axis=(0, 2, 3))
+        g = grad_out * self.gamma[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (g - sum_g / m - x_hat * sum_gx / m) \
+            * inv_std[None, :, None, None]
+        return dx.astype(np.float32)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"gamma": self.dgamma, "beta": self.dbeta}
+
+    def buffers(self) -> Dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean,
+                "running_var": self.running_var}
+
+
+class SiLU(Layer):
+    """SiLU / swish: ``x * sigmoid(x)`` — the YOLOv8/v11 activation."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple] = None
+        self.name = "silu"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        s = sigmoid(x)
+        if training:
+            self._cache = (x, s)
+        return (x * s).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward before forward in SiLU")
+        x, s = self._cache
+        return (grad_out * (s * (1.0 + x * (1.0 - s)))).astype(np.float32)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+        self.name = "relu"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward before forward in ReLU")
+        return np.where(self._mask, grad_out, 0.0).astype(np.float32)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, slope: float = 0.1) -> None:
+        self.slope = slope
+        self._mask: Optional[np.ndarray] = None
+        self.name = "leaky_relu"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, self.slope * x).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward before forward in LeakyReLU")
+        return np.where(self._mask, grad_out,
+                        self.slope * grad_out).astype(np.float32)
+
+
+class MaxPool2d(Layer):
+    """Max pooling with ``kernel == stride`` (the YOLO downsample case)."""
+
+    def __init__(self, kernel: int = 2) -> None:
+        if kernel < 1:
+            raise ShapeError(f"bad pool kernel {kernel}")
+        self.kernel = kernel
+        self._cache: Optional[Tuple] = None
+        self.name = f"maxpool{kernel}"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        k = self.kernel
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ShapeError(
+                f"pool input {h}x{w} not divisible by kernel {k}")
+        ho, wo = h // k, w // k
+        windows = x.reshape(n, c, ho, k, wo, k)
+        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            n, c, ho, wo, k * k)
+        arg = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, arg[..., None],
+                                 axis=-1)[..., 0]
+        if training:
+            self._cache = (arg, x.shape)
+        return np.ascontiguousarray(out, dtype=np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward before forward in MaxPool2d")
+        arg, (n, c, h, w) = self._cache
+        k = self.kernel
+        ho, wo = h // k, w // k
+        dwin = np.zeros((n, c, ho, wo, k * k), dtype=np.float32)
+        np.put_along_axis(dwin, arg[..., None],
+                          grad_out[..., None].astype(np.float32), axis=-1)
+        dwin = dwin.reshape(n, c, ho, wo, k, k).transpose(0, 1, 2, 4, 3, 5)
+        return np.ascontiguousarray(dwin.reshape(n, c, h, w))
+
+
+class Upsample2x(Layer):
+    """Nearest-neighbour 2× upsampling (FPN/decoder path)."""
+
+    def __init__(self) -> None:
+        self._in_shape: Optional[Tuple[int, ...]] = None
+        self.name = "upsample2x"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._in_shape = x.shape
+        return np.repeat(np.repeat(x, 2, axis=2), 2, axis=3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise ShapeError("backward before forward in Upsample2x")
+        n, c, h, w = self._in_shape
+        g = grad_out.reshape(n, c, h, 2, w, 2)
+        return np.ascontiguousarray(g.sum(axis=(3, 5)), dtype=np.float32)
+
+
+class Flatten(Layer):
+    """NCHW → (N, C*H*W)."""
+
+    def __init__(self) -> None:
+        self._in_shape: Optional[Tuple[int, ...]] = None
+        self.name = "flatten"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._in_shape = x.shape
+        return np.ascontiguousarray(x.reshape(x.shape[0], -1))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise ShapeError("backward before forward in Flatten")
+        return grad_out.reshape(self._in_shape)
+
+
+class Linear(Layer):
+    """Fully connected layer: ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ShapeError(
+                f"bad linear config {in_features}->{out_features}")
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.weight = xavier_init((out_features, in_features), gen)
+        self.bias = zeros_init((out_features,)) if bias else None
+        self.dweight = np.zeros_like(self.weight)
+        self.dbias = np.zeros_like(self.bias) if bias else None
+        self._x: Optional[np.ndarray] = None
+        self.name = "linear"
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"linear expects (N, {self.in_features}), got {x.shape}")
+        if training:
+            self._x = x
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out.astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward before forward in Linear")
+        self.dweight[...] = grad_out.T @ self._x
+        if self.bias is not None:
+            self.dbias[...] = grad_out.sum(axis=0)
+        return (grad_out @ self.weight).astype(np.float32)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        out = {"weight": self.weight}
+        if self.bias is not None:
+            out["bias"] = self.bias
+        return out
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        out = {"weight": self.dweight}
+        if self.bias is not None:
+            out["bias"] = self.dbias
+        return out

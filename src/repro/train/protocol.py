@@ -1,0 +1,138 @@
+"""The paper's retraining protocol (§3.1), end to end, at mini scale.
+
+One call wires the whole pipeline together: build (scaled) dataset →
+stratified 10 % sample → 80:20 train/val → train a mini variant → split
+the held-out test set into diverse/adversarial → evaluate both.  This is
+the executable counterpart of the experiments behind Figs. 1, 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import ReproConfig, default_config
+from ..dataset.builder import DatasetBuilder, DatasetIndex
+from ..dataset.sampling import (paper_protocol_split, random_sample,
+                                split_test_by_difficulty, train_val_split)
+from ..errors import TrainingError
+from ..models.registry import build_mini_model
+from ..models.yolo.train import DetectorTrainer, frames_to_arrays
+from ..rng import make_rng
+from .eval import VipEvalResult, evaluate_detector_on_frames
+
+
+@dataclass
+class RetrainOutcome:
+    """Everything a retraining run produces."""
+
+    model_name: str
+    train_size: int
+    val_size: int
+    diverse_result: VipEvalResult
+    adversarial_result: VipEvalResult
+    final_loss: float
+
+    @property
+    def diverse_accuracy(self) -> float:
+        return self.diverse_result.accuracy
+
+    @property
+    def adversarial_accuracy(self) -> float:
+        return self.adversarial_result.accuracy
+
+    def as_dict(self) -> Dict:
+        return {
+            "model": self.model_name,
+            "train_size": self.train_size,
+            "diverse_accuracy": self.diverse_accuracy,
+            "adversarial_accuracy": self.adversarial_accuracy,
+            "final_loss": self.final_loss,
+        }
+
+
+class RetrainProtocol:
+    """Runs §3.1 for one mini variant on a scaled dataset."""
+
+    def __init__(self, config: Optional[ReproConfig] = None,
+                 dataset_fraction: float = 0.015,
+                 max_test_images: int = 160) -> None:
+        if not 0.0 < dataset_fraction <= 1.0:
+            raise TrainingError(
+                f"dataset_fraction must be in (0, 1], got "
+                f"{dataset_fraction}")
+        self.config = (config or default_config()).validate()
+        self.dataset_fraction = dataset_fraction
+        self.max_test_images = max_test_images
+        self.builder = DatasetBuilder(seed=self.config.seed,
+                                      image_size=self.config.mini.image_size)
+
+    def run(self, model_name: str = "yolov8-n",
+            curated: bool = True,
+            train_budget: Optional[int] = None,
+            epochs: Optional[int] = None) -> RetrainOutcome:
+        """Execute the protocol.
+
+        ``curated=False`` replaces stratified sampling with a uniform
+        random sample of ``train_budget`` images (the Fig. 1 baseline).
+        """
+        cfg = self.config
+        index = self.builder.build_scaled(self.dataset_fraction)
+        rng = make_rng(cfg.seed, "protocol", model_name,
+                       "curated" if curated else "random")
+
+        if curated:
+            split = paper_protocol_split(
+                index, sample_fraction=cfg.train.sample_fraction * 4,
+                val_fraction=cfg.train.val_fraction, rng=rng)
+            train_idx, val_idx, test_idx = (split.train, split.val,
+                                            split.test)
+            if train_budget is not None:
+                train_idx = self._truncate(train_idx, train_budget)
+        else:
+            if train_budget is None:
+                raise TrainingError(
+                    "random sampling requires an explicit train_budget")
+            sampled = random_sample(index, min(train_budget +
+                                               max(train_budget // 4, 1),
+                                               len(index)), rng)
+            test_idx = index.without(sampled)
+            train_idx, val_idx = train_val_split(
+                sampled, cfg.train.val_fraction, rng)
+            train_idx = self._truncate(train_idx, train_budget)
+
+        model = build_mini_model(model_name, seed=cfg.seed,
+                                 image_size=cfg.mini.image_size)
+        train_frames = self.builder.render_records(train_idx.records)
+        val_frames = self.builder.render_records(val_idx.records)
+        images, boxes = frames_to_arrays(train_frames)
+        val_images, val_boxes = frames_to_arrays(val_frames)
+
+        trainer = DetectorTrainer(
+            model,
+            epochs=epochs if epochs is not None else cfg.mini.epochs,
+            batch_size=cfg.mini.batch_size,
+            seed=cfg.seed)
+        result = trainer.fit(images, boxes, val_images, val_boxes)
+
+        diverse, adversarial = split_test_by_difficulty(test_idx)
+        diverse_frames = self.builder.render_records(
+            diverse.records[:self.max_test_images])
+        adv_frames = self.builder.render_records(
+            adversarial.records[:self.max_test_images])
+        return RetrainOutcome(
+            model_name=model_name,
+            train_size=len(train_idx),
+            val_size=len(val_idx),
+            diverse_result=evaluate_detector_on_frames(
+                model, diverse_frames, conf_threshold=0.5),
+            adversarial_result=evaluate_detector_on_frames(
+                model, adv_frames, conf_threshold=0.5),
+            final_loss=result.final_loss,
+        )
+
+    @staticmethod
+    def _truncate(index: DatasetIndex, budget: int) -> DatasetIndex:
+        if budget >= len(index):
+            return index
+        return index.subset(range(budget))

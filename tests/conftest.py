@@ -1,0 +1,65 @@
+"""Shared fixtures: small rendered datasets, trained mini models.
+
+Expensive fixtures (rendered frame sets, a trained detector) are
+session-scoped so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.dataset.builder import DatasetBuilder
+from repro.models.registry import build_mini_model
+from repro.models.yolo.train import DetectorTrainer, frames_to_arrays
+
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def builder() -> DatasetBuilder:
+    return DatasetBuilder(seed=SEED, image_size=64)
+
+
+@pytest.fixture(scope="session")
+def small_index(builder):
+    """A ~300-record scaled dataset index (all 12 strata present)."""
+    return builder.build_scaled(0.01)
+
+
+@pytest.fixture(scope="session")
+def clean_frames(builder, small_index):
+    """120 rendered non-adversarial frames."""
+    recs = [r for r in small_index
+            if r.subcategory_key != "adversarial/all"][:120]
+    return builder.render_records(recs)
+
+
+@pytest.fixture(scope="session")
+def adversarial_frames(builder, small_index):
+    """24 rendered adversarial frames."""
+    recs = [r for r in small_index
+            if r.subcategory_key == "adversarial/all"][:24]
+    return builder.render_records(recs)
+
+
+@pytest.fixture(scope="session")
+def trained_detector(clean_frames):
+    """A mini YOLOv8-n trained for 30 epochs on 100 clean frames."""
+    images, boxes = frames_to_arrays(clean_frames[:100])
+    model = build_mini_model("yolov8-n", seed=SEED)
+    trainer = DetectorTrainer(model, epochs=30, batch_size=16, seed=SEED)
+    result = trainer.fit(images, boxes)
+    assert result.final_loss < 1.0
+    return model
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(SEED)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()

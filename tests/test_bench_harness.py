@@ -1,0 +1,149 @@
+"""Tests for the benchmark harness: stats, runner, parallel fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.bench.parallel import chunked, default_workers, parallel_map
+from repro.bench.runner import ExperimentResult, ExperimentRunner
+from repro.bench.stats import (bootstrap_ci, relative_spread,
+                               summarize_samples)
+from repro.errors import BenchmarkError
+
+
+class TestStats:
+    def test_summary_fields(self):
+        samples = np.random.default_rng(0).lognormal(3, 0.1, 500)
+        s = summarize_samples(samples)
+        assert s.n == 500
+        assert s.minimum <= s.p5 <= s.median <= s.p95 <= s.p99 <= \
+            s.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError):
+            summarize_samples(np.array([]))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(BenchmarkError):
+            summarize_samples(np.array([1.0, np.inf]))
+
+    def test_bootstrap_ci_contains_median(self):
+        samples = np.random.default_rng(1).normal(100, 5, 400)
+        lo, hi = bootstrap_ci(samples, rng=np.random.default_rng(2))
+        assert lo <= np.median(samples) <= hi
+        assert hi - lo < 5.0
+
+    def test_bootstrap_deterministic(self):
+        samples = np.random.default_rng(1).normal(0, 1, 100)
+        a = bootstrap_ci(samples, rng=np.random.default_rng(5))
+        b = bootstrap_ci(samples, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(BenchmarkError):
+            bootstrap_ci(np.array([1.0]))
+        with pytest.raises(BenchmarkError):
+            bootstrap_ci(np.arange(10.0), confidence=0.3)
+
+    def test_relative_spread(self):
+        tight = np.full(100, 10.0) + \
+            np.random.default_rng(0).normal(0, 0.01, 100)
+        wide = np.random.default_rng(0).lognormal(2.3, 0.5, 100)
+        assert relative_spread(tight) < relative_spread(wide)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        out = parallel_map(_square, list(range(20)), workers=2)
+        assert out == [i * i for i in range(20)]
+
+    def test_serial_fallback_small_input(self):
+        assert parallel_map(_square, [1, 2], workers=4) == [1, 4]
+
+    def test_force_serial(self):
+        out = parallel_map(_square, list(range(10)), force_serial=True)
+        assert out == [i * i for i in range(10)]
+
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises((BenchmarkError, ValueError)):
+            parallel_map(_fail_on_three, list(range(8)), workers=2)
+
+    def test_workers_validation(self):
+        with pytest.raises(BenchmarkError):
+            parallel_map(_square, [1], workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_chunked_balanced(self):
+        chunks = chunked(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_chunked_more_chunks_than_items(self):
+        chunks = chunked([1, 2], 5)
+        assert len(chunks) == 2
+
+    def test_chunked_validation(self):
+        with pytest.raises(BenchmarkError):
+            chunked([1], 0)
+
+
+def _ok_experiment():
+    return ExperimentResult(
+        experiment_id="x", title="X", headers=["a"], rows=[[1]],
+        claims={"holds": True},
+        paper_reference={"v": 1.0}, measured={"v": 1.01})
+
+
+def _failing_experiment():
+    return ExperimentResult(
+        experiment_id="y", title="Y", headers=["a"], rows=[[1]],
+        claims={"fails": False})
+
+
+class TestRunner:
+    def test_run_by_id(self):
+        runner = ExperimentRunner({"x": _ok_experiment})
+        result = runner.run("x")
+        assert result.all_claims_hold
+        assert result.elapsed_s >= 0
+
+    def test_unknown_id(self):
+        runner = ExperimentRunner({"x": _ok_experiment})
+        with pytest.raises(BenchmarkError):
+            runner.run("z")
+
+    def test_claim_enforcement(self):
+        runner = ExperimentRunner({"y": _failing_experiment})
+        with pytest.raises(BenchmarkError):
+            runner.run("y")
+        result = runner.run("y", enforce_claims=False)
+        assert result.failed_claims() == ["fails"]
+
+    def test_run_all(self):
+        runner = ExperimentRunner({"x": _ok_experiment})
+        results = runner.run_all()
+        assert len(results) == 1
+
+    def test_markdown_rendering(self):
+        md = _ok_experiment().to_markdown()
+        assert "### X" in md
+        assert "[x] holds" in md
+        assert "| v | 1.00 | 1.01 |" in md
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(BenchmarkError):
+            ExperimentRunner({})

@@ -1,0 +1,153 @@
+"""Tests for the dataset index builder and sampling protocol."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.builder import DatasetBuilder
+from repro.dataset.sampling import (paper_protocol_split, random_sample,
+                                    split_test_by_difficulty,
+                                    stratified_sample, train_val_split)
+from repro.dataset.stats import dataset_summary, paper_totals, table1_rows
+from repro.dataset.taxonomy import TABLE1_COUNTS, TOTAL_IMAGES
+from repro.errors import DatasetError
+from repro.rng import make_rng
+
+
+class TestBuilder:
+    def test_full_counts_exact(self, builder):
+        assert builder.verify_full_counts()
+
+    def test_full_index_size(self, builder):
+        idx = builder.build_full()
+        assert len(idx) == TOTAL_IMAGES
+
+    def test_scaled_keeps_all_strata(self, small_index):
+        assert len(small_index.category_counts()) == 12
+
+    def test_scaled_proportions(self, builder):
+        idx = builder.build_scaled(0.1)
+        counts = idx.category_counts()
+        for key, full in TABLE1_COUNTS.items():
+            assert counts[key] == pytest.approx(full * 0.1, abs=2)
+
+    def test_fraction_validation(self, builder):
+        with pytest.raises(DatasetError):
+            builder.build_scaled(0.0)
+        with pytest.raises(DatasetError):
+            builder.build_scaled(1.5)
+
+    def test_build_counts_explicit(self, builder):
+        idx = builder.build_counts({"mixed/all": 5,
+                                    "path/bicycles": 3})
+        assert len(idx) == 8
+
+    def test_records_render_deterministically(self, builder,
+                                              small_index):
+        rec = small_index[5]
+        a = rec.render(builder.renderer)
+        b = rec.render(builder.renderer)
+        assert np.array_equal(a.image, b.image)
+
+    def test_image_ids_unique(self, small_index):
+        ids = [r.image_id for r in small_index]
+        assert len(set(ids)) == len(ids)
+
+    def test_subset_and_without(self, small_index):
+        sub = small_index.subset(range(10))
+        rest = small_index.without(sub)
+        assert len(sub) + len(rest) == len(small_index)
+        assert not {r.image_id for r in sub} & {r.image_id for r in rest}
+
+    def test_by_category(self, small_index):
+        recs = small_index.by_category("mixed/all")
+        assert all(r.subcategory_key == "mixed/all" for r in recs)
+
+    def test_unknown_category(self, small_index):
+        with pytest.raises(DatasetError):
+            small_index.by_category("nope")
+
+
+class TestSampling:
+    def test_stratified_covers_every_stratum(self, small_index):
+        sample = stratified_sample(small_index, 0.2, make_rng(1, "s"))
+        assert len(sample.category_counts()) == 12
+
+    def test_stratified_fraction_respected(self, small_index):
+        sample = stratified_sample(small_index, 0.25, make_rng(1, "s"))
+        for key, n in small_index.category_counts().items():
+            got = sample.category_counts()[key]
+            assert got == max(1, round(n * 0.25))
+
+    def test_random_sample_size(self, small_index):
+        sample = random_sample(small_index, 30, make_rng(2, "s"))
+        assert len(sample) == 30
+
+    def test_random_sample_bounds(self, small_index):
+        with pytest.raises(DatasetError):
+            random_sample(small_index, 0)
+        with pytest.raises(DatasetError):
+            random_sample(small_index, len(small_index) + 1)
+
+    def test_train_val_ratio(self, small_index):
+        train, val = train_val_split(small_index, 0.2, make_rng(3, "s"))
+        assert len(val) == pytest.approx(0.2 * len(small_index), abs=1)
+        assert len(train) + len(val) == len(small_index)
+
+    def test_train_val_disjoint(self, small_index):
+        train, val = train_val_split(small_index, 0.2, make_rng(3, "s"))
+        assert not ({r.image_id for r in train}
+                    & {r.image_id for r in val})
+
+    def test_protocol_split_partitions(self, small_index):
+        split = paper_protocol_split(small_index, rng=make_rng(4, "s"))
+        tr, va, te = split.sizes()
+        assert tr + va + te == len(small_index)
+        ids = set()
+        for part in (split.train, split.val, split.test):
+            for r in part:
+                assert r.image_id not in ids
+                ids.add(r.image_id)
+
+    def test_protocol_at_paper_scale_sizes(self, builder):
+        """At full scale the protocol yields ≈3,866 sampled images and
+        the paper's test-set sizes."""
+        idx = builder.build_full()
+        split = paper_protocol_split(idx, rng=make_rng(5, "s"))
+        tr, va, te = split.sizes()
+        totals = paper_totals()
+        sampled = tr + va
+        assert sampled == pytest.approx(totals["training_sample"],
+                                        rel=0.02)
+        diverse, adversarial = split_test_by_difficulty(split.test)
+        # The paper's own numbers don't perfectly reconcile
+        # (3,866 + 23,543 + 3,805 = 31,214 > 30,711), so tolerances are
+        # a few percent.
+        assert len(diverse) == pytest.approx(totals["diverse_test"],
+                                             rel=0.03)
+        assert len(adversarial) == pytest.approx(
+            totals["adversarial_test"], rel=0.05)
+
+    def test_difficulty_split(self, small_index):
+        split = paper_protocol_split(small_index, rng=make_rng(6, "s"))
+        diverse, adversarial = split_test_by_difficulty(split.test)
+        assert all(r.subcategory_key == "adversarial/all"
+                   for r in adversarial)
+        assert all(r.subcategory_key != "adversarial/all"
+                   for r in diverse)
+
+
+class TestStats:
+    def test_table1_rows_without_index(self):
+        rows = table1_rows()
+        assert len(rows) == 12
+        assert sum(r[2] for r in rows) == TOTAL_IMAGES
+
+    def test_table1_rows_with_index(self, small_index):
+        rows = table1_rows(small_index)
+        assert sum(r[2] for r in rows) == len(small_index)
+
+    def test_summary_totals(self):
+        summary = dataset_summary()
+        assert summary["Total"] == TOTAL_IMAGES
+        assert summary["4. Mixed scenarios"] == 9169
+        assert summary["5. Adversarial scenarios"] == 4384

@@ -1,0 +1,75 @@
+"""Tests for the Roboflow-style dataset export."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.dataset.export import export_dataset, load_exported_image
+from repro.dataset.sampling import train_val_split
+from repro.errors import SerializationError
+from repro.io.yamlish import load_yaml
+from repro.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory, builder, small_index):
+    root = str(tmp_path_factory.mktemp("dataset"))
+    train, val = train_val_split(small_index.subset(range(12)), 0.25,
+                                 make_rng(1, "e"))
+    yaml_path = export_dataset(root, {"train": train, "val": val},
+                               builder.renderer)
+    return root, yaml_path, train, val
+
+
+class TestExport:
+    def test_yaml_written(self, exported):
+        root, yaml_path, train, val = exported
+        data = load_yaml(open(yaml_path).read())
+        assert data["nc"] == 1                       # one class (§2)
+        assert data["names"] == ["hazard_vest"]
+        assert data["train"] == "images/train"
+        assert data["val"] == "images/val"
+
+    def test_images_and_labels_written(self, exported):
+        root, _, train, val = exported
+        n_imgs = len(os.listdir(os.path.join(root, "images", "train")))
+        n_lbls = len(os.listdir(os.path.join(root, "labels", "train")))
+        assert n_imgs == n_lbls == len(train)
+
+    def test_annotations_json(self, exported):
+        root, _, train, val = exported
+        with open(os.path.join(root, "annotations.json")) as fh:
+            records = json.load(fh)
+        assert len(records) == len(train) + len(val)
+        for rec in records:
+            for box in rec["boxes"]:
+                assert set(box) == {"label", "x_min", "y_min", "x_max",
+                                    "y_max"}
+
+    def test_image_roundtrip(self, exported, builder):
+        root, _, train, _ = exported
+        rec = train[0]
+        loaded = load_exported_image(root, "train", rec.image_id)
+        rendered = rec.render(builder.renderer).image
+        assert np.array_equal(loaded, rendered)
+
+    def test_missing_image(self, exported):
+        root = exported[0]
+        with pytest.raises(SerializationError):
+            load_exported_image(root, "train", "does/not/exist")
+
+    def test_empty_splits_rejected(self, tmp_path, builder):
+        with pytest.raises(SerializationError):
+            export_dataset(str(tmp_path), {}, builder.renderer)
+
+    def test_label_files_parse(self, exported):
+        root, _, train, _ = exported
+        from repro.dataset.annotations import parse_yolo_label
+        name = train[0].image_id.replace("/", "__")
+        text = open(os.path.join(root, "labels", "train",
+                                 name + ".txt")).read()
+        if text.strip():
+            boxes = parse_yolo_label(text, 64, 64)
+            assert all(b.cls == 0 for b in boxes)

@@ -1,0 +1,157 @@
+"""Tests for scene sampling and the deterministic renderer."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.renderer import (SKY_DEPTH, VEST_CLASS, SceneRenderer)
+from repro.dataset.scene import (CameraSpec, Lighting, ObjectKind,
+                                 SceneObject, sample_scene)
+from repro.dataset.taxonomy import subcategory_by_key
+from repro.errors import DatasetError
+from repro.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    return SceneRenderer(64)
+
+
+class TestSceneSampling:
+    def test_vip_present_by_default(self):
+        spec = sample_scene(subcategory_by_key("footpath/no_pedestrians"),
+                            make_rng(1, "t"))
+        assert spec.vip is not None
+
+    def test_vip_absent_when_requested(self):
+        spec = sample_scene(subcategory_by_key("footpath/no_pedestrians"),
+                            make_rng(1, "t"), vip_present=False)
+        assert spec.vip is None
+
+    def test_content_flags_respected(self):
+        spec = sample_scene(subcategory_by_key("path/bicycles"),
+                            make_rng(2, "t"))
+        kinds = {o.kind for o in spec.objects}
+        assert ObjectKind.BICYCLE in kinds
+        assert ObjectKind.PARKED_CAR not in kinds
+
+    def test_adversarial_frames_request_corruption(self):
+        spec = sample_scene(subcategory_by_key("adversarial/all"),
+                            make_rng(3, "t"))
+        assert spec.adversarial
+        assert spec.severity >= 0.35
+
+    def test_clean_frames_have_no_corruption(self):
+        spec = sample_scene(subcategory_by_key("path/pedestrians"),
+                            make_rng(4, "t"))
+        assert spec.adversarial == ()
+
+    def test_fall_probability(self):
+        falls = 0
+        for i in range(40):
+            spec = sample_scene(
+                subcategory_by_key("footpath/no_pedestrians"),
+                make_rng(i, "fall"), fall_probability=1.0)
+            falls += spec.is_fall()
+        assert falls == 40
+
+    def test_object_validation(self):
+        with pytest.raises(DatasetError):
+            SceneObject(ObjectKind.VIP, 0.0, z=-1.0, height_m=1.7)
+        with pytest.raises(DatasetError):
+            SceneObject(ObjectKind.VIP, 0.0, z=3.0, height_m=0.0)
+
+    def test_camera_validation(self):
+        with pytest.raises(DatasetError):
+            CameraSpec(horizon=0.95)
+
+    def test_lighting_validation(self):
+        with pytest.raises(DatasetError):
+            Lighting(brightness=0.0)
+        with pytest.raises(DatasetError):
+            Lighting(haze=1.5)
+
+
+class TestRenderer:
+    def test_output_contract(self, renderer):
+        spec = sample_scene(subcategory_by_key("footpath/pedestrians"),
+                            make_rng(5, "r"))
+        frame = renderer.render(spec, make_rng(5, "r2"))
+        assert frame.image.shape == (64, 64, 3)
+        assert frame.image.dtype == np.float32
+        assert 0.0 <= frame.image.min() and frame.image.max() <= 1.0
+        assert frame.depth.shape == (64, 64)
+        assert frame.depth.min() > 0.0
+        assert frame.depth.max() <= SKY_DEPTH
+
+    def test_deterministic(self, renderer):
+        spec = sample_scene(subcategory_by_key("path/bicycles"),
+                            make_rng(6, "r"))
+        a = renderer.render(spec, make_rng(6, "x"))
+        b = renderer.render(spec, make_rng(6, "x"))
+        assert np.array_equal(a.image, b.image)
+        assert np.array_equal(a.depth, b.depth)
+
+    def test_vest_box_covers_neon_pixels(self, renderer):
+        spec = sample_scene(subcategory_by_key("footpath/no_pedestrians"),
+                            make_rng(7, "r"))
+        frame = renderer.render(spec, make_rng(7, "x"))
+        assert len(frame.vest_boxes) == 1
+        b = frame.vest_boxes[0]
+        assert b.cls == VEST_CLASS
+        region = frame.image[int(b.y1):int(np.ceil(b.y2)),
+                             int(b.x1):int(np.ceil(b.x2))]
+        # The vest is the greenest thing in the scene: the box region
+        # must contain high-G, low-B pixels.
+        green_score = region[..., 1] - region[..., 2]
+        assert green_score.max() > 0.4
+
+    def test_keypoints_near_vest(self, renderer):
+        spec = sample_scene(subcategory_by_key("footpath/no_pedestrians"),
+                            make_rng(8, "r"))
+        frame = renderer.render(spec, make_rng(8, "x"))
+        assert frame.keypoints is not None
+        if frame.vest_boxes:
+            bx = frame.vest_boxes[0]
+            neck = frame.keypoints.points[1]
+            assert abs(neck[0] - (bx.x1 + bx.x2) / 2) < 15
+
+    def test_depth_consistent_with_object_distance(self, renderer):
+        spec = sample_scene(subcategory_by_key("footpath/no_pedestrians"),
+                            make_rng(9, "r"))
+        frame = renderer.render(spec, make_rng(9, "x"))
+        if frame.vest_boxes and frame.keypoints is not None:
+            b = frame.vest_boxes[0]
+            cx = int((b.x1 + b.x2) / 2)
+            cy = int((b.y1 + b.y2) / 2)
+            vip_z = spec.vip.z
+            assert frame.depth[cy, cx] == pytest.approx(vip_z, abs=0.5)
+
+    def test_distractors_boxed(self, renderer):
+        spec = sample_scene(
+            subcategory_by_key("side_of_road/parked_cars"),
+            make_rng(10, "r"))
+        frame = renderer.render(spec, make_rng(10, "x"))
+        kinds = {o.kind for o in spec.objects}
+        if ObjectKind.PARKED_CAR in kinds:
+            assert any(b.cls == 3 for b in frame.object_boxes)
+
+    def test_adversarial_corruptions_applied(self, renderer):
+        spec = sample_scene(subcategory_by_key("adversarial/all"),
+                            make_rng(11, "r"))
+        frame = renderer.render(spec, make_rng(11, "x"))
+        assert frame.applied_corruptions == spec.adversarial
+        assert frame.image.shape == (64, 64, 3)  # canvas restored
+
+    def test_min_size_validation(self):
+        with pytest.raises(DatasetError):
+            SceneRenderer(8)
+
+    def test_sky_above_horizon(self, renderer):
+        spec = sample_scene(subcategory_by_key("path/pedestrians"),
+                            make_rng(12, "r"))
+        frame = renderer.render(spec, make_rng(12, "x"))
+        horizon_px = int(spec.camera.horizon * 64)
+        # Sky depth is the far plane everywhere above the horizon
+        # except where tall objects intrude.
+        sky_row = frame.depth[max(horizon_px - 8, 0)]
+        assert (sky_row == SKY_DEPTH).mean() > 0.3

@@ -1,0 +1,59 @@
+"""Tests for the Table 1 taxonomy."""
+
+import pytest
+
+from repro.dataset.taxonomy import (Category, TABLE1_COUNTS, TAXONOMY,
+                                    TOTAL_IMAGES, all_subcategories,
+                                    subcategory_by_key)
+from repro.errors import DatasetError
+
+
+class TestTable1Counts:
+    def test_total_matches_paper(self):
+        assert TOTAL_IMAGES == 30711
+
+    def test_twelve_strata(self):
+        assert len(TAXONOMY) == 12
+
+    @pytest.mark.parametrize("key,count", [
+        ("footpath/no_pedestrians", 2294),
+        ("footpath/pedestrians", 1371),
+        ("footpath/usual_surroundings", 2115),
+        ("path/bicycles", 901),
+        ("path/pedestrians", 1658),
+        ("path/pedestrians_and_cycles", 1057),
+        ("side_of_road/pedestrians", 1326),
+        ("side_of_road/usual_surroundings", 1887),
+        ("side_of_road/no_pedestrians", 2022),
+        ("side_of_road/parked_cars", 2527),
+        ("mixed/all", 9169),
+        ("adversarial/all", 4384),
+    ])
+    def test_each_row_verbatim(self, key, count):
+        assert TABLE1_COUNTS[key] == count
+
+    def test_footpath_subtotal(self):
+        total = sum(sc.count for sc in
+                    all_subcategories(Category.FOOTPATH))
+        assert total == 2294 + 1371 + 2115
+
+    def test_side_of_road_has_four_rows(self):
+        assert len(all_subcategories(Category.SIDE_OF_ROAD)) == 4
+
+
+class TestLookup:
+    def test_by_key(self):
+        sc = subcategory_by_key("path/bicycles")
+        assert sc.bicycles and not sc.pedestrians
+
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError):
+            subcategory_by_key("nope/nothing")
+
+    def test_content_flags(self):
+        mixed = subcategory_by_key("mixed/all")
+        assert mixed.pedestrians and mixed.bicycles \
+            and mixed.parked_cars and mixed.clutter
+
+    def test_all_filter_none_returns_everything(self):
+        assert all_subcategories() == TAXONOMY

@@ -1,0 +1,151 @@
+"""Tests for the fleet scheduler and precision deployment model."""
+
+import pytest
+
+from repro.core.fleet import (FleetConfig, FleetScheduler,
+                              SchedulingPolicy)
+from repro.errors import BenchmarkError, HardwareError
+from repro.hardware.precision import Precision, PrecisionModel
+from repro.hardware.registry import device_spec
+from repro.latency.estimator import LatencyEstimator
+from repro.models.spec import model_spec
+
+
+class TestFleetConfig:
+    def test_derived_quantities(self):
+        cfg = FleetConfig(num_drones=4, frame_rate=10.0,
+                          duration_s=5.0)
+        assert cfg.frames_per_drone == 50
+        assert cfg.deadline_ms == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            FleetConfig(num_drones=0)
+        with pytest.raises(BenchmarkError):
+            FleetConfig(frame_rate=0.0)
+
+
+class TestFleetScheduler:
+    def test_small_fleet_all_policies_clean(self):
+        sched = FleetScheduler(FleetConfig(num_drones=2))
+        for policy in SchedulingPolicy:
+            rep = sched.run(policy)
+            assert rep.violation_rate < 0.01, policy
+
+    def test_cloud_only_saturates(self):
+        sched = FleetScheduler(FleetConfig(num_drones=24))
+        rep = sched.run(SchedulingPolicy.CLOUD_ONLY)
+        assert rep.violation_rate > 0.5
+
+    def test_adaptive_never_violates(self):
+        for n in (2, 12, 24):
+            sched = FleetScheduler(FleetConfig(num_drones=n))
+            rep = sched.run(SchedulingPolicy.ADAPTIVE)
+            assert rep.violation_rate < 0.01, n
+
+    def test_adaptive_sheds_to_edge_under_load(self):
+        small = FleetScheduler(FleetConfig(num_drones=2)).run(
+            SchedulingPolicy.ADAPTIVE)
+        big = FleetScheduler(FleetConfig(num_drones=24)).run(
+            SchedulingPolicy.ADAPTIVE)
+        assert big.cloud_fraction < small.cloud_fraction
+
+    def test_accuracy_ordering(self):
+        sched = FleetScheduler(FleetConfig(num_drones=24))
+        edge = sched.run(SchedulingPolicy.EDGE_ONLY)
+        adaptive = sched.run(SchedulingPolicy.ADAPTIVE)
+        cloud = sched.run(SchedulingPolicy.CLOUD_ONLY)
+        assert edge.accuracy_weighted <= adaptive.accuracy_weighted \
+            <= cloud.accuracy_weighted + 1e-9
+
+    def test_frame_accounting(self):
+        cfg = FleetConfig(num_drones=3, duration_s=4.0)
+        rep = FleetScheduler(cfg).run(SchedulingPolicy.ADAPTIVE)
+        assert rep.frames == 3 * cfg.frames_per_drone
+        assert rep.cloud_frames + rep.edge_frames == rep.frames
+
+    def test_sweep(self):
+        sched = FleetScheduler(FleetConfig(num_drones=2))
+        reports = sched.sweep_fleet_size((1, 4),
+                                         SchedulingPolicy.EDGE_ONLY)
+        assert len(reports) == 2
+        assert reports[1].frames == 4 * reports[0].frames
+
+    def test_summary(self):
+        rep = FleetScheduler(FleetConfig(num_drones=2)).run(
+            SchedulingPolicy.ADAPTIVE)
+        assert {"policy", "violation_rate", "cloud_fraction",
+                "mean_expected_accuracy"} <= set(rep.summary())
+
+
+class TestPrecisionModel:
+    @pytest.fixture(scope="class")
+    def pm(self):
+        return PrecisionModel()
+
+    def test_fp32_matches_roofline(self, pm):
+        est = LatencyEstimator()
+        for model in ("yolov8-n", "yolov8-x"):
+            for device in ("xavier-nx", "rtx4090"):
+                assert pm.latency_ms(
+                    model_spec(model), device_spec(device),
+                    Precision.FP32) == pytest.approx(
+                    est.median_ms(model, device), rel=0.02)
+
+    def test_precision_ordering(self, pm):
+        m = model_spec("yolov8-x")
+        d = device_spec("orin-agx")
+        fp32 = pm.latency_ms(m, d, Precision.FP32)
+        fp16 = pm.latency_ms(m, d, Precision.FP16)
+        int8 = pm.latency_ms(m, d, Precision.INT8)
+        assert int8 < fp16 < fp32
+
+    def test_volta_vs_ampere_int8(self, pm):
+        m = model_spec("yolov8-x")
+        gain_volta = pm.latency_ms(m, device_spec("xavier-nx"),
+                                   Precision.FP32) \
+            / pm.latency_ms(m, device_spec("xavier-nx"),
+                            Precision.INT8)
+        gain_ampere = pm.latency_ms(m, device_spec("orin-nano"),
+                                    Precision.FP32) \
+            / pm.latency_ms(m, device_spec("orin-nano"),
+                            Precision.INT8)
+        assert gain_ampere > gain_volta
+
+    def test_trt_pose_fp16_no_double_count(self, pm):
+        m = model_spec("trt_pose")
+        d = device_spec("orin-agx")
+        assert pm.latency_ms(m, d, Precision.FP16) == pytest.approx(
+            pm.latency_ms(m, d, Precision.FP32), rel=0.15)
+
+    def test_accuracy_deltas(self, pm):
+        assert PrecisionModel.accuracy_delta_pct(
+            model_spec("yolov8-n"), Precision.FP32) == 0.0
+        n8 = PrecisionModel.accuracy_delta_pct(
+            model_spec("yolov8-n"), Precision.INT8)
+        x8 = PrecisionModel.accuracy_delta_pct(
+            model_spec("yolov8-x"), Precision.INT8)
+        assert n8 < x8 < 0.0  # small models hurt more
+
+    def test_engine_sizes(self, pm):
+        p32 = pm.point("yolov8-m", "rtx4090", Precision.FP32)
+        p16 = pm.point("yolov8-m", "rtx4090", Precision.FP16)
+        p8 = pm.point("yolov8-m", "rtx4090", Precision.INT8)
+        assert p8.model_size_mb < p16.model_size_mb < p32.model_size_mb
+
+    def test_cheapest_meeting_deadline_prefers_less_quantisation(
+            self, pm):
+        point = pm.cheapest_meeting_deadline("yolov8-n", "rtx4090",
+                                             100.0)
+        assert point.precision is Precision.FP32
+        point = pm.cheapest_meeting_deadline("yolov8-m", "orin-nano",
+                                             100.0)
+        assert point.precision is Precision.FP16
+
+    def test_infeasible_deadline(self, pm):
+        with pytest.raises(HardwareError):
+            pm.cheapest_meeting_deadline("yolov8-x", "xavier-nx", 5.0)
+
+    def test_sweep_covers_all_precisions(self, pm):
+        sweep = pm.sweep("yolov8-n", "orin-agx")
+        assert set(sweep) == set(Precision)

@@ -1,0 +1,125 @@
+"""Tests for keypoint structures, posture features and OKS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnnotationError
+from repro.geometry.keypoints import (NUM_KEYPOINTS, SKELETON_EDGES,
+                                      KeypointSet, keypoints_to_features,
+                                      oks)
+
+
+def make_upright_person(cx=32.0, feet_y=60.0, height=40.0):
+    """Synthetic upright stick figure matching the renderer layout."""
+    pts = np.zeros((NUM_KEYPOINTS, 3))
+    fractions = [0.93, 0.82, 0.78, 0.78, 0.62, 0.62, 0.47, 0.47,
+                 0.50, 0.50, 0.27, 0.27, 0.02]
+    laterals = [0, 0, -0.11, 0.11, -0.14, 0.14, -0.15, 0.15,
+                -0.08, 0.08, -0.09, 0.09, 0]
+    for i, (f, lx) in enumerate(zip(fractions, laterals)):
+        pts[i] = (cx + lx * height, feet_y - f * height, 1.0)
+    return KeypointSet(pts)
+
+
+def make_fallen_person(cx=32.0, y=58.0, length=40.0):
+    """Horizontal body: same landmarks laid along the x axis."""
+    pts = np.zeros((NUM_KEYPOINTS, 3))
+    fractions = [0.93, 0.82, 0.78, 0.78, 0.62, 0.62, 0.47, 0.47,
+                 0.50, 0.50, 0.27, 0.27, 0.02]
+    laterals = [0, 0, -0.11, 0.11, -0.14, 0.14, -0.15, 0.15,
+                -0.08, 0.08, -0.09, 0.09, 0]
+    for i, (f, lx) in enumerate(zip(fractions, laterals)):
+        pts[i] = (cx - f * length, y + lx * length * 0.3, 1.0)
+    return KeypointSet(pts)
+
+
+class TestKeypointSet:
+    def test_shape_enforced(self):
+        with pytest.raises(AnnotationError):
+            KeypointSet(np.zeros((5, 3)))
+
+    def test_visibility_mask(self):
+        kps = make_upright_person()
+        assert kps.visible.all()
+
+    def test_bbox_bounds_points(self):
+        kps = make_upright_person()
+        x1, y1, x2, y2 = kps.bbox()
+        assert np.all(kps.xy[:, 0] >= x1 - 1e-9)
+        assert np.all(kps.xy[:, 0] <= x2 + 1e-9)
+        assert np.all(kps.xy[:, 1] >= y1 - 1e-9)
+        assert np.all(kps.xy[:, 1] <= y2 + 1e-9)
+
+    def test_bbox_requires_visible(self):
+        pts = np.zeros((NUM_KEYPOINTS, 3))
+        with pytest.raises(AnnotationError):
+            KeypointSet(pts).bbox()
+
+    def test_scaled(self):
+        kps = make_upright_person().scaled(2.0, 0.5)
+        assert kps.points[:, 0].max() <= 2 * 64
+
+    def test_skeleton_edges_valid(self):
+        for a, b in SKELETON_EDGES:
+            assert 0 <= a < NUM_KEYPOINTS
+            assert 0 <= b < NUM_KEYPOINTS
+            assert a != b
+
+
+class TestPostureFeatures:
+    def test_feature_length(self):
+        f = keypoints_to_features(make_upright_person())
+        assert f.shape == (5,)
+
+    def test_upright_torso_angle_small(self):
+        f = keypoints_to_features(make_upright_person())
+        assert f[0] < 0.3  # near-vertical torso
+
+    def test_fallen_torso_angle_large(self):
+        f = keypoints_to_features(make_fallen_person())
+        assert f[0] > 1.0  # near-horizontal torso
+
+    def test_features_scale_invariant(self):
+        small = keypoints_to_features(make_upright_person(height=20))
+        large = keypoints_to_features(make_upright_person(height=60))
+        assert np.allclose(small, large, atol=0.15)
+
+    def test_features_translation_invariant(self):
+        a = keypoints_to_features(make_upright_person(cx=10))
+        b = keypoints_to_features(make_upright_person(cx=50))
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_upright_vs_fallen_separable(self):
+        up = keypoints_to_features(make_upright_person())
+        down = keypoints_to_features(make_fallen_person())
+        # Aspect ratio and torso angle both flip decisively.
+        assert down[0] - up[0] > 0.8
+        assert down[3] > up[3]
+
+
+class TestOks:
+    def test_perfect_prediction(self):
+        kps = make_upright_person()
+        assert oks(kps, kps, scale=40.0) == pytest.approx(1.0)
+
+    def test_degrades_with_error(self):
+        truth = make_upright_person()
+        noisy = KeypointSet(truth.points + np.array([3.0, 3.0, 0.0]))
+        val = oks(noisy, truth, scale=40.0)
+        assert 0.0 < val < 1.0
+
+    def test_monotone_in_error(self):
+        truth = make_upright_person()
+        small = KeypointSet(truth.points + np.array([1.0, 1.0, 0.0]))
+        big = KeypointSet(truth.points + np.array([8.0, 8.0, 0.0]))
+        assert oks(small, truth, 40.0) > oks(big, truth, 40.0)
+
+    def test_scale_validation(self):
+        kps = make_upright_person()
+        with pytest.raises(AnnotationError):
+            oks(kps, kps, scale=0.0)
+
+    def test_no_visible_truth_rejected(self):
+        truth = KeypointSet(np.zeros((NUM_KEYPOINTS, 3)))
+        with pytest.raises(AnnotationError):
+            oks(make_upright_person(), truth, 40.0)

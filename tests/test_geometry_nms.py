@@ -1,0 +1,115 @@
+"""Tests for NMS variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnnotationError
+from repro.geometry.bbox import iou_matrix
+from repro.geometry.nms import batched_nms, nms, soft_nms
+
+
+def _boxes(n, rng):
+    xy = rng.uniform(0, 50, size=(n, 2))
+    wh = rng.uniform(2, 20, size=(n, 2))
+    return np.concatenate([xy, xy + wh], axis=1)
+
+
+class TestNms:
+    def test_empty(self):
+        assert nms(np.zeros((0, 4)), np.zeros(0)).tolist() == []
+
+    def test_single_box_kept(self):
+        keep = nms(np.array([[0, 0, 10, 10.0]]), np.array([0.9]))
+        assert keep.tolist() == [0]
+
+    def test_duplicates_suppressed(self):
+        boxes = np.array([[0, 0, 10, 10.0], [0.5, 0.5, 10.5, 10.5],
+                          [30, 30, 40, 40.0]])
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert keep.tolist() == [0, 2]
+
+    def test_keeps_highest_score_of_cluster(self):
+        boxes = np.array([[0, 0, 10, 10.0], [0, 0, 10, 10.0]])
+        scores = np.array([0.3, 0.9])
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert keep.tolist() == [1]
+
+    def test_threshold_validation(self):
+        with pytest.raises(AnnotationError):
+            nms(np.zeros((1, 4)) + [[0, 0, 1, 1]], np.array([1.0]),
+                iou_threshold=0.0)
+
+    def test_score_shape_validation(self):
+        with pytest.raises(AnnotationError):
+            nms(np.array([[0, 0, 1, 1.0]]), np.array([0.5, 0.6]))
+
+    @given(st.integers(1, 30), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_kept_boxes_mutually_below_threshold(self, n, seed):
+        rng = np.random.default_rng(seed)
+        boxes = _boxes(n, rng)
+        scores = rng.random(n)
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        kept = boxes[keep]
+        m = iou_matrix(kept, kept)
+        np.fill_diagonal(m, 0.0)
+        assert np.all(m <= 0.5 + 1e-9)
+
+    @given(st.integers(1, 30), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_output_sorted_by_score(self, n, seed):
+        rng = np.random.default_rng(seed)
+        boxes = _boxes(n, rng)
+        scores = rng.random(n)
+        keep = nms(boxes, scores, iou_threshold=0.6)
+        kept_scores = scores[keep]
+        assert np.all(np.diff(kept_scores) <= 1e-12)
+
+
+class TestBatchedNms:
+    def test_classes_do_not_suppress_each_other(self):
+        boxes = np.array([[0, 0, 10, 10.0], [0, 0, 10, 10.0]])
+        scores = np.array([0.9, 0.8])
+        classes = np.array([0, 1])
+        keep = batched_nms(boxes, scores, classes, iou_threshold=0.5)
+        assert sorted(keep.tolist()) == [0, 1]
+
+    def test_same_class_suppressed(self):
+        boxes = np.array([[0, 0, 10, 10.0], [0, 0, 10, 10.0]])
+        keep = batched_nms(boxes, np.array([0.9, 0.8]),
+                           np.array([0, 0]), iou_threshold=0.5)
+        assert keep.tolist() == [0]
+
+    def test_empty(self):
+        assert batched_nms(np.zeros((0, 4)), np.zeros(0),
+                           np.zeros(0)).tolist() == []
+
+    def test_class_shape_validation(self):
+        with pytest.raises(AnnotationError):
+            batched_nms(np.array([[0, 0, 1, 1.0]]), np.array([0.5]),
+                        np.array([0, 1]))
+
+
+class TestSoftNms:
+    def test_isolated_box_score_unchanged(self):
+        boxes = np.array([[0, 0, 10, 10.0], [50, 50, 60, 60.0]])
+        scores = np.array([0.9, 0.8])
+        out = soft_nms(boxes, scores)
+        assert out == pytest.approx(scores)
+
+    def test_overlap_decays_score(self):
+        boxes = np.array([[0, 0, 10, 10.0], [1, 1, 11, 11.0]])
+        scores = np.array([0.9, 0.8])
+        out = soft_nms(boxes, scores)
+        assert out[0] == pytest.approx(0.9)
+        assert out[1] < 0.8
+
+    def test_sigma_validation(self):
+        with pytest.raises(AnnotationError):
+            soft_nms(np.zeros((0, 4)), np.zeros(0), sigma=0.0)
+
+    def test_empty(self):
+        assert soft_nms(np.zeros((0, 4)), np.zeros(0)).size == 0

@@ -1,0 +1,117 @@
+"""Tests for YAML subset, checkpoints and report formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BenchmarkError, SerializationError
+from repro.io.report import csv_table, format_float, markdown_table, \
+    series_block
+from repro.io.serialization import (load_checkpoint, restore_into,
+                                    save_checkpoint)
+from repro.io.yamlish import dump_yaml, load_yaml
+
+
+class TestYaml:
+    def test_scalar_roundtrip(self):
+        data = {"nc": 1, "lr": 0.01, "name": "ocularone", "flag": True}
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_list_roundtrip(self):
+        data = {"names": ["hazard_vest", "pedestrian"], "nc": 2}
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_quoted_strings(self):
+        data = {"path": "a: b", "odd": "- starts with dash"}
+        assert load_yaml(dump_yaml(data)) == data
+
+    def test_comments_ignored(self):
+        text = "# comment\nnc: 1\n\n# more\nname: x\n"
+        assert load_yaml(text) == {"nc": 1, "name": "x"}
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(SerializationError):
+            load_yaml("just a bare line\n")
+
+    def test_list_item_outside_list(self):
+        with pytest.raises(SerializationError):
+            load_yaml("- orphan\n")
+
+    def test_unsupported_value(self):
+        with pytest.raises(SerializationError):
+            dump_yaml({"bad": {"nested": 1}})
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+        st.one_of(st.integers(-1000, 1000), st.booleans(),
+                  st.text(alphabet="xyz0189 .", max_size=10)),
+        min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, data):
+        assert load_yaml(dump_yaml(data)) == data
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        params = {"w": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        save_checkpoint(path, params, meta={"epoch": 3})
+        loaded, meta = load_checkpoint(path)
+        assert meta["epoch"] == 3
+        assert np.array_equal(loaded["w"], params["w"])
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_checkpoint(str(tmp_path / "e.npz"), {})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_checkpoint(str(tmp_path / "nope.npz"))
+
+    def test_restore_into_atomic(self):
+        target = {"w": np.zeros(3, dtype=np.float32)}
+        with pytest.raises(SerializationError):
+            restore_into(target, {"w": np.ones(4, dtype=np.float32)})
+        assert np.array_equal(target["w"], np.zeros(3))  # untouched
+
+    def test_restore_key_mismatch(self):
+        with pytest.raises(SerializationError):
+            restore_into({"a": np.zeros(1)}, {"b": np.zeros(1)})
+
+    def test_non_array_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_checkpoint(str(tmp_path / "x.npz"), {"w": [1, 2]})
+
+
+class TestReport:
+    def test_markdown_alignment(self):
+        table = markdown_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("|") for line in lines)
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(BenchmarkError):
+            markdown_table(["a", "b"], [[1]])
+
+    def test_none_rendered_as_dash(self):
+        table = markdown_table(["a"], [[None]])
+        assert "-" in table.splitlines()[2]
+
+    def test_csv_escaping(self):
+        out = csv_table(["a"], [["x,y"]])
+        assert '"x,y"' in out
+
+    def test_format_float(self):
+        assert format_float(1.23456, 2) == "1.23"
+        assert format_float(7) == "7"
+
+    def test_series_block(self):
+        out = series_block("Latency", ["v8n", "v8x"], [2.1, 19.7],
+                           unit=" ms")
+        assert "v8n" in out and "19.70 ms" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(BenchmarkError):
+            series_block("t", ["a"], [1.0, 2.0])

@@ -1,0 +1,152 @@
+"""Tests for model specs (Table 2) and architecture descriptors."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.arch import (build_monodepth2_descriptor,
+                               build_resnet18_descriptor,
+                               build_trt_pose_descriptor,
+                               build_yolo_descriptor, descriptor_for)
+from repro.models.registry import (build_mini_model,
+                                   registry_consistency_check)
+from repro.models.spec import (ALL_MODEL_ORDER, PAPER_MODELS, YOLO_ORDER,
+                               model_spec, table2_rows, yolo_variants)
+
+
+class TestTable2Values:
+    @pytest.mark.parametrize("name,params_m,size_mb", [
+        ("yolov8-n", 3.2, 5.95),
+        ("yolov8-m", 25.9, 49.61),
+        ("yolov8-x", 68.2, 130.38),
+        ("yolov11-n", 2.6, 5.22),
+        ("yolov11-m", 20.1, 38.64),
+        ("yolov11-x", 56.9, 109.09),
+        ("trt_pose", 12.8, 25.0),
+        ("monodepth2", 14.84, 98.7),
+    ])
+    def test_paper_numbers_verbatim(self, name, params_m, size_mb):
+        spec = model_spec(name)
+        assert spec.params_millions == pytest.approx(params_m)
+        assert spec.model_size_mb == pytest.approx(size_mb)
+
+    def test_eight_models(self):
+        assert len(PAPER_MODELS) == 8
+        assert len(ALL_MODEL_ORDER) == 8
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError):
+            model_spec("yolov12-z")
+
+    def test_yolo_variants_filter(self):
+        v8 = yolo_variants("yolov8")
+        assert [s.variant for s in v8] == ["n", "m", "x"]
+        with pytest.raises(ModelError):
+            yolo_variants("yolov99")
+
+    def test_table2_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 8
+        cats = {r[0] for r in rows}
+        assert cats == {"Vest Detection", "Pose Detection",
+                        "Depth Estimation"}
+
+    def test_input_resolutions(self):
+        assert model_spec("yolov8-n").input_hw == (640, 640)
+        assert model_spec("trt_pose").input_hw == (224, 224)
+        assert model_spec("monodepth2").input_hw == (192, 640)
+
+    def test_gflops_ordering(self):
+        g = {n: model_spec(n).gflops for n in YOLO_ORDER}
+        assert g["yolov8-n"] < g["yolov8-m"] < g["yolov8-x"]
+        assert g["yolov11-n"] < g["yolov11-m"] < g["yolov11-x"]
+        # v11 is lighter than v8 at matched size.
+        for v in "nmx":
+            assert g[f"yolov11-{v}"] < g[f"yolov8-{v}"]
+
+
+class TestDescriptors:
+    @pytest.mark.parametrize("name,rel_tol", [
+        # The v8 generator replicates the published architecture; the
+        # v11/C3k2 approximation undershoots by design.
+        ("yolov8-n", 0.10), ("yolov8-m", 0.05), ("yolov8-x", 0.05),
+        ("trt_pose", 0.15), ("monodepth2", 0.10),
+    ])
+    def test_derived_params_close(self, name, rel_tol):
+        spec = model_spec(name)
+        derived = descriptor_for(name).total_params
+        assert derived == pytest.approx(spec.params, rel=rel_tol)
+
+    def test_v11_approximation_in_band(self):
+        for v in "nmx":
+            spec = model_spec(f"yolov11-{v}")
+            derived = descriptor_for(f"yolov11-{v}").total_params
+            assert 0.4 * spec.params <= derived <= 1.2 * spec.params
+
+    def test_v8_gflops_close(self):
+        for v in "nmx":
+            spec = model_spec(f"yolov8-{v}")
+            derived = descriptor_for(f"yolov8-{v}").total_flops / 1e9
+            assert derived == pytest.approx(spec.gflops, rel=0.1)
+
+    def test_layer_records_consistent(self):
+        d = build_yolo_descriptor("yolov8", "n")
+        assert d.total_params == sum(l.params for l in d.layers)
+        assert all(l.flops > 0 and l.params > 0 for l in d.layers)
+
+    def test_detect_head_scales(self):
+        d = build_yolo_descriptor("yolov8", "n", input_size=640)
+        heads = [l for l in d.layers if l.kind == "detect"]
+        assert len(heads) == 3
+        # P3 at stride 8, P4 at 16, P5 at 32.
+        assert heads[0].out_hw == (80, 80)
+        assert heads[1].out_hw == (40, 40)
+        assert heads[2].out_hw == (20, 20)
+
+    def test_unknown_family_variant(self):
+        with pytest.raises(ModelError):
+            build_yolo_descriptor("yolov9", "n")
+        with pytest.raises(ModelError):
+            build_yolo_descriptor("yolov8", "s")
+        with pytest.raises(ModelError):
+            descriptor_for("mystery-model")
+
+    def test_resnet18_param_count(self):
+        # Canonical ResNet-18 backbone (no fc): ≈11.2 M parameters.
+        d = build_resnet18_descriptor("r18", (224, 224))
+        assert d.total_params == pytest.approx(11.2e6, rel=0.1)
+
+    def test_pose_depth_descriptors(self):
+        pose = build_trt_pose_descriptor()
+        depth = build_monodepth2_descriptor()
+        assert pose.total_params > 11e6
+        assert depth.total_params > 11e6
+        assert depth.input_hw == (192, 640)
+
+
+class TestRegistry:
+    def test_consistency(self):
+        assert registry_consistency_check()
+
+    def test_build_each_mini(self):
+        for name in ALL_MODEL_ORDER:
+            model = build_mini_model(name, seed=3)
+            assert model is not None
+
+    def test_unknown_mini(self):
+        with pytest.raises(ModelError):
+            build_mini_model("resnet50")
+
+    def test_mini_yolo_capacity_ordering(self):
+        sizes = {}
+        for v in "nmx":
+            sizes[v] = build_mini_model(f"yolov8-{v}").num_parameters()
+        assert sizes["n"] < sizes["m"] < sizes["x"]
+
+    def test_mini_seed_determinism(self):
+        import numpy as np
+        a = build_mini_model("yolov8-n", seed=5)
+        b = build_mini_model("yolov8-n", seed=5)
+        for (ka, va), (kb, vb) in zip(sorted(a.net.params().items()),
+                                      sorted(b.net.params().items())):
+            assert ka == kb
+            assert np.array_equal(va, vb)

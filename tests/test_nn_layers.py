@@ -1,0 +1,224 @@
+"""Gradient checks and behavioural tests for the NN layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import (BatchNorm2d, Conv2d, Flatten, LeakyReLU,
+                             Linear, MaxPool2d, ReLU, SiLU, Upsample2x,
+                             sigmoid)
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_input_grad_check(layer, x, n_probes=4, eps=1e-3, rtol=2e-2):
+    """Central-difference check of backward() against forward()."""
+    out = layer.forward(x.copy(), training=True)
+    g_out = RNG.normal(size=out.shape).astype(np.float32)
+    gin = layer.backward(g_out)
+    assert gin.shape == x.shape
+    for _ in range(n_probes):
+        ix = tuple(int(RNG.integers(0, s)) for s in x.shape)
+        xp, xm = x.copy(), x.copy()
+        xp[ix] += eps
+        xm[ix] -= eps
+        fp = float(np.sum(layer.forward(xp, training=False) * g_out))
+        fm = float(np.sum(layer.forward(xm, training=False) * g_out))
+        num = (fp - fm) / (2 * eps)
+        assert abs(num - float(gin[ix])) <= rtol * (1 + abs(num)), \
+            f"{layer.name} at {ix}: numeric {num} vs analytic {gin[ix]}"
+
+
+def numeric_param_grad_check(layer, x, pname, eps=1e-3, rtol=2e-2):
+    out = layer.forward(x, training=True)
+    g_out = RNG.normal(size=out.shape).astype(np.float32)
+    layer.backward(g_out)
+    p = layer.params()[pname]
+    g = layer.grads()[pname].copy()
+    ix = tuple(int(RNG.integers(0, s)) for s in p.shape)
+    p[ix] += eps
+    fp = float(np.sum(layer.forward(x, training=False) * g_out))
+    p[ix] -= 2 * eps
+    fm = float(np.sum(layer.forward(x, training=False) * g_out))
+    p[ix] += eps
+    num = (fp - fm) / (2 * eps)
+    assert abs(num - float(g[ix])) <= rtol * (1 + abs(num)), \
+        f"{layer.name}.{pname} at {ix}: numeric {num} vs {g[ix]}"
+
+
+def x4(c=3, h=8, w=8, n=2):
+    return RNG.normal(size=(n, c, h, w)).astype(np.float32)
+
+
+class TestSigmoid:
+    def test_range(self):
+        x = np.array([-100.0, 0.0, 100.0], dtype=np.float32)
+        s = sigmoid(x)
+        assert s[0] == pytest.approx(0.0, abs=1e-6)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_overflow_warning(self):
+        x = np.array([-1000.0, 1000.0], dtype=np.float32)
+        s = sigmoid(x)
+        assert np.all(np.isfinite(s))
+
+
+class TestConv2d:
+    def test_output_shape_same_pad(self):
+        conv = Conv2d(3, 8, 3, rng=RNG)
+        assert conv.forward(x4()).shape == (2, 8, 8, 8)
+
+    def test_output_shape_stride2(self):
+        conv = Conv2d(3, 8, 3, stride=2, rng=RNG)
+        assert conv.forward(x4()).shape == (2, 8, 4, 4)
+
+    def test_input_grad(self):
+        numeric_input_grad_check(Conv2d(3, 5, 3, rng=RNG), x4())
+
+    def test_input_grad_stride2(self):
+        numeric_input_grad_check(Conv2d(3, 4, 3, stride=2, rng=RNG),
+                                 x4())
+
+    def test_weight_grad(self):
+        numeric_param_grad_check(Conv2d(3, 4, 3, rng=RNG), x4(),
+                                 "weight")
+
+    def test_bias_grad(self):
+        numeric_param_grad_check(Conv2d(3, 4, 3, rng=RNG), x4(), "bias")
+
+    def test_1x1_conv(self):
+        numeric_input_grad_check(Conv2d(4, 6, 1, rng=RNG), x4(c=4))
+
+    def test_wrong_channels_rejected(self):
+        conv = Conv2d(3, 4, 3, rng=RNG)
+        with pytest.raises(ShapeError):
+            conv.forward(x4(c=5))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ShapeError):
+            Conv2d(3, 4, 3, rng=RNG).backward(np.zeros((1, 4, 8, 8),
+                                                       np.float32))
+
+    def test_no_bias_variant(self):
+        conv = Conv2d(3, 4, 3, bias=False, rng=RNG)
+        assert "bias" not in conv.params()
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self):
+        bn = BatchNorm2d(3)
+        out = bn.forward(x4() * 5 + 2, training=True)
+        assert abs(out.mean()) < 0.1
+        assert out.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_running_stats_used_in_eval(self):
+        bn = BatchNorm2d(3)
+        x = x4(n=8)
+        for _ in range(60):
+            bn.forward(x, training=True)
+        train_out = bn.forward(x, training=True)
+        eval_out = bn.forward(x, training=False)
+        assert np.allclose(train_out, eval_out, atol=0.15)
+
+    def test_input_grad(self):
+        # BatchNorm's eval path uses running stats, so compare against a
+        # numeric derivative of the *training* forward with frozen stats.
+        bn = BatchNorm2d(3)
+        x = x4()
+        out = bn.forward(x, training=True)
+        g_out = RNG.normal(size=out.shape).astype(np.float32)
+        gin = bn.backward(g_out)
+        eps = 1e-3
+        for _ in range(3):
+            ix = tuple(int(RNG.integers(0, s)) for s in x.shape)
+            xp, xm = x.copy(), x.copy()
+            xp[ix] += eps
+            xm[ix] -= eps
+            bn_p = BatchNorm2d(3)
+            fp = float(np.sum(bn_p.forward(xp, training=True) * g_out))
+            fm = float(np.sum(bn_p.forward(xm, training=True) * g_out))
+            num = (fp - fm) / (2 * eps)
+            assert abs(num - float(gin[ix])) <= 3e-2 * (1 + abs(num))
+
+    def test_param_grads_shapes(self):
+        bn = BatchNorm2d(4)
+        x = x4(c=4)
+        bn.forward(x, training=True)
+        bn.backward(np.ones((2, 4, 8, 8), np.float32))
+        assert bn.grads()["gamma"].shape == (4,)
+        assert bn.grads()["beta"].shape == (4,)
+
+    def test_wrong_channels(self):
+        with pytest.raises(ShapeError):
+            BatchNorm2d(3).forward(x4(c=4))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [SiLU, ReLU, LeakyReLU])
+    def test_input_grad(self, layer_cls):
+        numeric_input_grad_check(layer_cls(), x4())
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]], np.float32)
+                             .reshape(1, 1, 1, 2))
+        assert out.flatten().tolist() == [0.0, 2.0]
+
+    def test_leaky_slope(self):
+        out = LeakyReLU(0.1).forward(
+            np.array([-10.0], np.float32).reshape(1, 1, 1, 1))
+        assert out.item() == pytest.approx(-1.0)
+
+    def test_silu_matches_definition(self):
+        x = x4()
+        out = SiLU().forward(x, training=False)
+        assert np.allclose(out, x * sigmoid(x), atol=1e-6)
+
+
+class TestPoolingAndShape:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        assert out.flatten().tolist() == [5, 7, 13, 15]
+
+    def test_maxpool_grad(self):
+        numeric_input_grad_check(MaxPool2d(2), x4())
+
+    def test_maxpool_divisibility(self):
+        with pytest.raises(ShapeError):
+            MaxPool2d(3).forward(x4(h=8, w=8))
+
+    def test_upsample_shape_and_grad(self):
+        up = Upsample2x()
+        assert up.forward(x4()).shape == (2, 3, 16, 16)
+        numeric_input_grad_check(Upsample2x(), x4())
+
+    def test_flatten_roundtrip(self):
+        f = Flatten()
+        x = x4()
+        out = f.forward(x)
+        assert out.shape == (2, 3 * 8 * 8)
+        back = f.backward(out)
+        assert back.shape == x.shape
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = Linear(10, 4, rng=RNG)
+        out = lin.forward(RNG.normal(size=(3, 10)).astype(np.float32))
+        assert out.shape == (3, 4)
+
+    def test_input_grad(self):
+        lin = Linear(6, 3, rng=RNG)
+        x = RNG.normal(size=(4, 6)).astype(np.float32)
+        numeric_input_grad_check(lin, x)
+
+    def test_weight_grad(self):
+        lin = Linear(6, 3, rng=RNG)
+        x = RNG.normal(size=(4, 6)).astype(np.float32)
+        numeric_param_grad_check(lin, x, "weight")
+
+    def test_wrong_features(self):
+        with pytest.raises(ShapeError):
+            Linear(6, 3, rng=RNG).forward(
+                RNG.normal(size=(2, 5)).astype(np.float32))

@@ -1,0 +1,29 @@
+"""Tests for process-pool rendering equivalence."""
+
+import numpy as np
+
+from repro.dataset.builder import DatasetBuilder
+
+
+class TestParallelRendering:
+    def test_matches_serial_bitwise(self, builder, small_index):
+        records = small_index.records[:8]
+        serial = builder.render_records(records)
+        parallel = builder.render_records_parallel(records, workers=2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.image, b.image)
+            assert np.array_equal(a.depth, b.depth)
+            assert [x.as_tuple() for x in a.vest_boxes] == \
+                [x.as_tuple() for x in b.vest_boxes]
+
+    def test_serial_fallback_small_batches(self, builder, small_index):
+        records = small_index.records[:2]
+        out = builder.render_records_parallel(records, workers=4)
+        assert len(out) == 2
+
+    def test_respects_image_size(self, small_index):
+        big = DatasetBuilder(seed=7, image_size=96)
+        frames = big.render_records_parallel(
+            big.build_scaled(0.005).records[:4], workers=2)
+        assert all(f.image.shape == (96, 96, 3) for f in frames)

@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold over the whole input space, not just the
+example points the unit tests pin: roofline monotonicity, surrogate
+scaling laws, batching curves, tracker liveness, conv shape algebra and
+sampler statistics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracker import IoUTracker
+from repro.geometry.bbox import BBox
+from repro.hardware.registry import BENCHMARK_DEVICES, device_spec
+from repro.hardware.roofline import RooflineModel
+from repro.latency.batching import BatchingModel
+from repro.latency.sampler import LatencySampler
+from repro.models.spec import ALL_MODEL_ORDER, model_spec
+from repro.nn.flops import conv_output_hw
+from repro.train.surrogate import AccuracySurrogate, SurrogateQuery
+
+MODELS = list(ALL_MODEL_ORDER)
+DEVICES = list(BENCHMARK_DEVICES)
+
+
+class TestRooflineProperties:
+    @given(st.sampled_from(MODELS), st.sampled_from(DEVICES))
+    @settings(max_examples=32, deadline=None)
+    def test_latency_positive_and_decomposes(self, model, device):
+        rl = RooflineModel()
+        b = rl.breakdown(model_spec(model), device_spec(device))
+        assert b.total_ms > 0
+        assert b.total_ms == pytest.approx(
+            max(b.compute_ms, b.memory_ms) + b.overhead_ms
+            + b.postprocess_ms)
+
+    @given(st.sampled_from(DEVICES))
+    @settings(max_examples=8, deadline=None)
+    def test_yolo_latency_monotone_in_size(self, device):
+        rl = RooflineModel()
+        d = device_spec(device)
+        for family in ("yolov8", "yolov11"):
+            lats = [rl.median_latency_ms(
+                model_spec(f"{family}-{v}"), d) for v in "nmx"]
+            assert lats[0] < lats[1] < lats[2]
+
+    @given(st.sampled_from(MODELS))
+    @settings(max_examples=8, deadline=None)
+    def test_workstation_always_fastest(self, model):
+        rl = RooflineModel()
+        m = model_spec(model)
+        wk = rl.median_latency_ms(m, device_spec("rtx4090"))
+        for device in ("orin-agx", "orin-nano", "xavier-nx"):
+            assert wk < rl.median_latency_ms(m, device_spec(device))
+
+
+class TestSurrogateProperties:
+    @given(st.sampled_from(sorted(
+        ["yolov8-n", "yolov8-m", "yolov8-x",
+         "yolov11-n", "yolov11-m", "yolov11-x"])),
+        st.integers(50, 30000), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_bounded(self, model, n, curated):
+        s = AccuracySurrogate()
+        acc = s.expected_accuracy(SurrogateQuery(
+            model, "diverse", train_size=max(n, 10), curated=curated))
+        assert 0.05 <= acc <= 1.0
+
+    @given(st.integers(10, 20000), st.integers(1, 10000))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_data(self, n, extra):
+        s = AccuracySurrogate()
+        a = s.expected_accuracy(SurrogateQuery(
+            "yolov8-m", "adversarial", train_size=n))
+        b = s.expected_accuracy(SurrogateQuery(
+            "yolov8-m", "adversarial", train_size=n + extra))
+        assert b >= a - 1e-12
+
+
+class TestBatchingProperties:
+    @given(st.sampled_from(["yolov8-n", "yolov8-m", "yolov8-x"]),
+           st.sampled_from(DEVICES),
+           st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_never_below_batch1(self, model, device, batch):
+        bm = BatchingModel()
+        p1 = bm.batch_point(model_spec(model), device_spec(device), 1)
+        pb = bm.batch_point(model_spec(model), device_spec(device),
+                            batch)
+        assert pb.throughput_fps >= p1.throughput_fps - 1e-6
+
+    @given(st.sampled_from(["yolov8-n", "yolov8-m"]),
+           st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_latency_superlinear_lower_bound(self, model, batch):
+        """A batch can never finish faster than one compute-saturated
+        frame times the batch size divided by the max gain."""
+        bm = BatchingModel()
+        m = model_spec(model)
+        d = device_spec("rtx4090")
+        pb = bm.batch_point(m, d, batch)
+        assert pb.batch_latency_ms >= pb.per_frame_ms
+        assert pb.per_frame_ms > 0
+
+
+class TestSamplerProperties:
+    @given(st.sampled_from(MODELS), st.sampled_from(DEVICES),
+           st.integers(0, 2 ** 16))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_positive_and_near_median(self, model, device,
+                                              seed):
+        sampler = LatencySampler(seed=seed)
+        samples = sampler.sample(model, device, 120)
+        assert np.all(samples > 0)
+        rl = RooflineModel()
+        median_model = rl.median_latency_ms(model_spec(model),
+                                            device_spec(device))
+        assert np.median(samples) == pytest.approx(median_model,
+                                                   rel=0.35)
+
+
+class TestTrackerProperties:
+    @given(st.lists(st.tuples(st.floats(0, 50), st.floats(0, 50)),
+                    min_size=1, max_size=20),
+           st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_track_count_bounded_by_detections(self, offsets, seed):
+        """A tracker never holds more live tracks than total distinct
+        detection events it has seen."""
+        rng = np.random.default_rng(seed)
+        tracker = IoUTracker(max_misses=3)
+        total_dets = 0
+        for ox, oy in offsets:
+            dets = []
+            if rng.random() < 0.8:
+                dets.append(BBox(ox, oy, ox + 8, oy + 8))
+                total_dets += 1
+            tracker.update(dets)
+            assert len(tracker.tracks) <= total_dets
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_stable_object_single_track(self, n_frames):
+        tracker = IoUTracker()
+        for _ in range(n_frames):
+            tracker.update([BBox(10, 10, 20, 20)])
+        assert len(tracker.tracks) == 1
+
+
+class TestConvShapes:
+    @given(st.integers(8, 64), st.integers(8, 64),
+           st.sampled_from([1, 3, 5, 7]), st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_same_padding_halves_with_stride(self, h, w, k, s):
+        oh, ow = conv_output_hw(h, w, k, s, k // 2)
+        assert oh == (h + 2 * (k // 2) - k) // s + 1
+        if s == 1:
+            assert (oh, ow) == (h, w)
+
+    @given(st.integers(1, 8), st.integers(8, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_conv_layer_forward_shape(self, c, size):
+        from repro.nn.layers import Conv2d
+        rng = np.random.default_rng(0)
+        conv = Conv2d(c, 4, 3, stride=2, rng=rng)
+        # Guarantee output exists for any input ≥ kernel.
+        x = rng.normal(size=(1, c, size, size)).astype(np.float32)
+        out = conv.forward(x, training=False)
+        assert out.shape[2] == (size + 2 - 3) // 2 + 1

@@ -1,0 +1,149 @@
+"""Tests for dataset QC tooling and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.dataset.quality import (audit_annotations,
+                                   cross_split_leakage,
+                                   find_near_duplicates,
+                                   hamming_distance, perceptual_hash,
+                                   stratum_statistics)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def named_frames(builder, small_index):
+    recs = small_index.records[:16]
+    return [(r.image_id, r.render(builder.renderer)) for r in recs]
+
+
+class TestPerceptualHash:
+    def test_deterministic(self, named_frames):
+        _, frame = named_frames[0]
+        assert perceptual_hash(frame.image) == \
+            perceptual_hash(frame.image)
+
+    def test_noise_invariant(self, named_frames):
+        _, frame = named_frames[0]
+        noisy = np.clip(frame.image + np.random.default_rng(0).normal(
+            0, 0.01, frame.image.shape).astype(np.float32), 0, 1)
+        d = hamming_distance(perceptual_hash(frame.image),
+                             perceptual_hash(noisy))
+        assert d <= 6
+
+    def test_distinct_scenes_distant(self, named_frames):
+        ha = perceptual_hash(named_frames[0][1].image)
+        hs = [perceptual_hash(f.image) for _, f in named_frames[1:8]]
+        assert np.mean([hamming_distance(ha, h) for h in hs]) > 4
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            perceptual_hash(np.zeros((8, 8)))
+
+
+class TestDuplicates:
+    def test_exact_duplicate_found(self, named_frames):
+        fid, frame = named_frames[0]
+        report = find_near_duplicates(
+            [(fid, frame), ("copy", frame)] + named_frames[1:4])
+        assert any({a, b} == {fid, "copy"}
+                   for a, b, _ in report.pairs)
+
+    def test_distinct_frames_mostly_clean(self, named_frames):
+        report = find_near_duplicates(named_frames, max_distance=1)
+        assert report.count <= 2  # renderer variety keeps hashes apart
+
+    def test_cross_split_leakage_detects_shared_frame(self,
+                                                      named_frames):
+        train = named_frames[:4]
+        test = [("leak", named_frames[0][1])] + named_frames[4:8]
+        leaks = cross_split_leakage(train, test)
+        assert any(b == "leak" for _, b, _ in leaks)
+
+    def test_validation(self, named_frames):
+        with pytest.raises(DatasetError):
+            find_near_duplicates(named_frames, max_distance=-1)
+
+
+class TestAudit:
+    def test_rendered_annotations_clean(self, named_frames):
+        audit = audit_annotations(named_frames)
+        assert audit.clean
+        assert audit.total_boxes > 0
+
+    def test_detects_out_of_bounds(self, named_frames):
+        import dataclasses
+        from repro.geometry.bbox import BBox
+        fid, frame = named_frames[0]
+        bad = dataclasses.replace(frame) if False else frame
+        # Build a frame-like with a bad box.
+        from repro.dataset.renderer import RenderedFrame
+        bad = RenderedFrame(image=frame.image, depth=frame.depth,
+                            vest_boxes=[BBox(-5, -5, 200, 200)],
+                            object_boxes=[], keypoints=None,
+                            spec=frame.spec)
+        audit = audit_annotations([(fid, bad)])
+        assert not audit.clean
+        assert audit.out_of_bounds == [fid]
+
+    def test_vest_free_frames_reported(self, named_frames):
+        from repro.dataset.renderer import RenderedFrame
+        fid, frame = named_frames[0]
+        empty = RenderedFrame(image=frame.image, depth=frame.depth,
+                              vest_boxes=[], object_boxes=[],
+                              keypoints=None, spec=frame.spec)
+        audit = audit_annotations([("empty", empty)])
+        assert audit.vest_free_frames == ["empty"]
+
+
+class TestStratumStatistics:
+    def test_covers_all_strata(self, builder, small_index):
+        stats = stratum_statistics(small_index, builder.renderer,
+                                   per_stratum=2)
+        assert len(stats) == 12
+        for key, s in stats.items():
+            assert 0.0 <= s["mean_brightness"] <= 1.0
+            assert 0.0 <= s["vest_presence"] <= 1.0
+
+    def test_adversarial_stratum_darker_or_similar(self, builder,
+                                                   small_index):
+        stats = stratum_statistics(small_index, builder.renderer,
+                                   per_stratum=4)
+        adv = stats["adversarial/all"]["mean_brightness"]
+        clean = stats["footpath/no_pedestrians"]["mean_brightness"]
+        assert adv <= clean + 0.1
+
+    def test_validation(self, builder, small_index):
+        with pytest.raises(DatasetError):
+            stratum_statistics(small_index, builder.renderer,
+                               per_stratum=0)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "ablation_fleet" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "yolov8-x", "xavier-nx"]) == 0
+        out = capsys.readouterr().out
+        assert "988" in out or "989" in out
+
+    def test_latency_unknown_model(self, capsys):
+        assert main(["latency", "resnet152", "xavier-nx"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_dataset(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "30711" in out

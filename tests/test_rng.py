@@ -1,0 +1,83 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng import (DEFAULT_SEED, coerce_rng, make_rng, seed_sequence,
+                       spawn_rngs, stable_fingerprint)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream_identical(self):
+        a = make_rng(3, "x", 1)
+        b = make_rng(3, "x", 1)
+        assert a.random() == b.random()
+
+    def test_different_streams_differ(self):
+        a = make_rng(3, "x")
+        b = make_rng(3, "y")
+        assert a.random() != b.random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1, "x").random() != make_rng(2, "x").random()
+
+    def test_default_seed_used_when_none(self):
+        a = make_rng(None, "s")
+        b = make_rng(DEFAULT_SEED, "s")
+        assert a.random() == b.random()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigError):
+            make_rng(-1)
+
+    def test_string_and_int_keys_mix(self):
+        r = make_rng(5, "alpha", 42, "beta")
+        assert 0.0 <= r.random() < 1.0
+
+    def test_bad_key_type_rejected(self):
+        with pytest.raises(ConfigError):
+            seed_sequence(1, 3.5)  # type: ignore[arg-type]
+
+    def test_negative_int_key_rejected(self):
+        with pytest.raises(ConfigError):
+            seed_sequence(1, -2)
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(5, 1, "workers")) == 5
+
+    def test_spawned_streams_independent(self):
+        rngs = spawn_rngs(3, 1, "workers")
+        vals = [r.random() for r in rngs]
+        assert len(set(vals)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [r.random() for r in spawn_rngs(3, 1, "w")]
+        b = [r.random() for r in spawn_rngs(3, 1, "w")]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            spawn_rngs(-1)
+
+
+class TestCoerceRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert coerce_rng(gen) is gen
+
+    def test_seed_coerced(self):
+        a = coerce_rng(9, "s")
+        b = coerce_rng(9, "s")
+        assert a.random() == b.random()
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert stable_fingerprint([1.0, 2.0]) == \
+            stable_fingerprint([1.0, 2.0])
+
+    def test_sensitive_to_values(self):
+        assert stable_fingerprint([1.0]) != stable_fingerprint([1.1])

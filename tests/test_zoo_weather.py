@@ -1,0 +1,150 @@
+"""Tests for the model zoo cache and weather corruptions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ModelError
+from repro.geometry.bbox import BBox
+from repro.image.weather import add_fog, add_rain, apply_weather
+from repro.models.zoo import ModelZoo, ZooSpec
+
+
+@pytest.fixture(scope="module")
+def zoo(tmp_path_factory):
+    return ModelZoo(cache_dir=str(tmp_path_factory.mktemp("zoo")))
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return ZooSpec(model_name="yolov8-n", seed=7,
+                   dataset_fraction=0.01, train_images=48, epochs=4)
+
+
+class TestZoo:
+    def test_train_and_cache(self, zoo, small_spec):
+        assert not zoo.is_cached(small_spec)
+        model = zoo.load_or_train(small_spec)
+        assert zoo.is_cached(small_spec)
+        assert model.num_parameters() > 0
+
+    def test_cache_hit_identical_weights(self, zoo, small_spec):
+        a = zoo.load_or_train(small_spec)
+        b = zoo.load_or_train(small_spec)
+        for (ka, va), (kb, vb) in zip(sorted(a.net.params().items()),
+                                      sorted(b.net.params().items())):
+            assert ka == kb
+            assert np.array_equal(va, vb)
+
+    def test_distinct_specs_distinct_keys(self, small_spec):
+        other = ZooSpec(model_name="yolov8-n", seed=8,
+                        dataset_fraction=0.01, train_images=48,
+                        epochs=4)
+        assert other.cache_key != small_spec.cache_key
+
+    def test_evict(self, zoo, small_spec):
+        zoo.load_or_train(small_spec)
+        assert zoo.evict(small_spec)
+        assert not zoo.is_cached(small_spec)
+        assert not zoo.evict(small_spec)
+
+    def test_spec_validation(self):
+        with pytest.raises(ModelError):
+            ZooSpec(dataset_fraction=0.0)
+        with pytest.raises(ModelError):
+            ZooSpec(epochs=0)
+
+    def test_insufficient_data_rejected(self, zoo):
+        spec = ZooSpec(dataset_fraction=0.001, train_images=10000,
+                       epochs=1)
+        with pytest.raises(ModelError):
+            zoo.train(spec)
+
+
+def scene_image():
+    rng = np.random.default_rng(0)
+    return rng.random((48, 48, 3)).astype(np.float32)
+
+
+class TestRain:
+    def test_zero_severity_identity(self):
+        img = scene_image()
+        assert np.array_equal(add_rain(img, 0.0), img)
+
+    def test_adds_bright_streaks(self):
+        img = scene_image() * 0.3
+        out = add_rain(img, 0.8, np.random.default_rng(1))
+        assert out.max() > img.max()
+        assert not np.array_equal(out, img)
+
+    def test_deterministic_given_rng(self):
+        img = scene_image()
+        a = add_rain(img, 0.5, np.random.default_rng(3))
+        b = add_rain(img, 0.5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_severity_validation(self):
+        with pytest.raises(ConfigError):
+            add_rain(scene_image(), 1.5)
+
+    def test_range_preserved(self):
+        out = add_rain(scene_image(), 1.0, np.random.default_rng(2))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestFog:
+    def test_zero_severity_identity(self):
+        img = scene_image()
+        assert np.array_equal(add_fog(img, 0.0), img)
+
+    def test_reduces_contrast(self):
+        img = scene_image()
+        out = add_fog(img, 0.8)
+        assert out.std() < img.std()
+
+    def test_depth_aware_attenuates_far_more(self):
+        img = np.full((16, 16, 3), 0.1, dtype=np.float32)
+        depth = np.full((16, 16), 2.0, dtype=np.float32)
+        depth[:, 8:] = 40.0
+        out = add_fog(img, 1.0, depth=depth)
+        near = out[:, :8].mean()
+        far = out[:, 8:].mean()
+        # Far pixels pulled harder toward the bright veil.
+        assert far > near
+
+    def test_depth_shape_validation(self):
+        with pytest.raises(ConfigError):
+            add_fog(scene_image(), 0.5, depth=np.zeros((4, 4)))
+
+    def test_visibility_validation(self):
+        with pytest.raises(ConfigError):
+            add_fog(scene_image(), 0.5,
+                    depth=np.zeros((48, 48)), visibility_m=0.0)
+
+
+class TestApplyWeather:
+    def test_dispatch_and_boxes_passthrough(self):
+        img = scene_image()
+        boxes = [BBox(4, 4, 10, 12)]
+        out, kept = apply_weather(img, boxes, "fog", 0.5)
+        assert kept[0].as_tuple() == boxes[0].as_tuple()
+        out, kept = apply_weather(img, boxes, "rain", 0.5,
+                                  rng=np.random.default_rng(1))
+        assert len(kept) == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            apply_weather(scene_image(), [], "snow", 0.5)
+
+    def test_on_rendered_frame(self, builder, small_index):
+        frame = small_index[0].render(builder.renderer)
+        out = add_fog(frame.image, 0.7, depth=frame.depth)
+        assert out.shape == frame.image.shape
+        # Fog must dim the distant scene more than the near ground.
+        near_mask = frame.depth < 5.0
+        far_mask = frame.depth > 40.0
+        if near_mask.any() and far_mask.any():
+            delta_near = np.abs(out[near_mask] -
+                                frame.image[near_mask]).mean()
+            delta_far = np.abs(out[far_mask] -
+                               frame.image[far_mask]).mean()
+            assert delta_far >= delta_near - 0.05

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Profile the suite's hot paths (the guide's rule: measure first).
+
+Runs cProfile over the three workloads that dominate wall-clock time —
+frame rendering, a detector training step, and a full latency-figure
+regeneration — and prints the top functions by cumulative time.  Use
+this before touching any kernel: the im2col GEMM and the raster masks
+should dominate; if Python-level bookkeeping shows up instead,
+something regressed.
+
+Run:  python tools/profile_hotspots.py [top_n]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+
+
+def _print_top(profiler: cProfile.Profile, title: str,
+               top_n: int) -> None:
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top_n)
+    print(f"\n=== {title} ===")
+    # Skip the header boilerplate, keep the table.
+    lines = stream.getvalue().splitlines()
+    for line in lines[4:4 + top_n + 3]:
+        print(line)
+
+
+def profile_rendering(top_n: int) -> None:
+    from repro.dataset.builder import DatasetBuilder
+    builder = DatasetBuilder(seed=7, image_size=64)
+    records = builder.build_scaled(0.01).records[:40]
+    prof = cProfile.Profile()
+    prof.enable()
+    builder.render_records(records)
+    prof.disable()
+    _print_top(prof, "Scene rendering (40 frames)", top_n)
+
+
+def profile_training_step(top_n: int) -> None:
+    import numpy as np
+    from repro.dataset.builder import DatasetBuilder
+    from repro.models.registry import build_mini_model
+    from repro.models.yolo.train import (DetectorTrainer,
+                                         frames_to_arrays)
+    builder = DatasetBuilder(seed=7, image_size=64)
+    frames = builder.render_records(
+        builder.build_scaled(0.005).records[:32])
+    images, boxes = frames_to_arrays(frames)
+    model = build_mini_model("yolov8-m", seed=7)
+    trainer = DetectorTrainer(model, epochs=1, batch_size=16, seed=7)
+    prof = cProfile.Profile()
+    prof.enable()
+    trainer.fit(images, boxes)
+    prof.disable()
+    _print_top(prof, "Detector training (1 epoch, 32 images)", top_n)
+
+
+def profile_latency_figure(top_n: int) -> None:
+    from repro.bench.experiments.registry import run_experiment
+    prof = cProfile.Profile()
+    prof.enable()
+    run_experiment("fig5", n_frames=1000)
+    prof.disable()
+    _print_top(prof, "Fig. 5 regeneration (24 x 1000-frame runs)",
+               top_n)
+
+
+def main() -> int:
+    top_n = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    profile_rendering(top_n)
+    profile_training_step(top_n)
+    profile_latency_figure(top_n)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
