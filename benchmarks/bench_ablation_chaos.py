@@ -1,0 +1,13 @@
+"""Chaos-resilience benchmark: fault scenarios vs the hardened pipeline."""
+
+from conftest import run_and_report
+
+
+def test_ablation_chaos(benchmark):
+    """Every named fault scenario holds the availability floor on the
+    hardened pipeline while the unhardened loop crashes or stalls."""
+    result = run_and_report(benchmark, "ablation_chaos", n_frames=140)
+    assert result.measured["worst_hardened_availability"] >= \
+        result.measured["availability_floor"]
+    assert result.measured["corruption_detection_rate_x"] > \
+        result.measured["corruption_detection_rate_n"]

@@ -1,0 +1,175 @@
+"""Ablation: chaos resilience — the graceful-degradation ladder.
+
+Replays every named fault scenario from :mod:`repro.faults.scenarios`
+through the hardened VIP pipeline and through the same pipeline with
+resilience disabled (the seed's naive loop), on seeded fault streams so
+every number is bit-reproducible.  The claims encode the degradation
+ladder contract:
+
+* hardened availability stays >= 0.9 under every scenario, and the
+  pipeline *says so* (DEGRADED / SAFE_STOP alerts, never silence);
+* the unhardened pipeline either crashes outright or stalls below the
+  availability floor under the identical fault stream;
+* the long blackout walks the full ladder NOMINAL → DEGRADED →
+  SAFE_STOP and recovers (finite MTTR);
+* larger detectors tolerate frame corruption measurably better (the
+  adversarial-stratum effect, §4.2), measured on a pure-corruption
+  stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...core.pipeline import PipelineConfig, VipPipeline, _OraclePerceptor
+from ...core.alerts import AlertKind
+from ...dataset.builder import DatasetBuilder
+from ...errors import BenchmarkError, FaultError
+from ...faults import (FaultInjector, FaultKind, FaultSpec,
+                       ResilienceConfig, missed_alert_rate, scenario,
+                       scenario_names)
+from ..runner import ExperimentResult
+
+#: Availability floor the hardened pipeline must hold.
+AVAILABILITY_FLOOR = 0.9
+
+#: Placement per scenario: (model, device, offboard, rtt_ms).  Network
+#: faults need an off-board placement; everything else runs the
+#: paper's canonical edge pair.
+_DEFAULT_PLACEMENT = ("yolov8-n", "orin-agx", False, 0.0)
+_PLACEMENTS: Dict[str, Tuple[str, str, bool, float]] = {
+    "network_blackout": ("yolov8-n", "rtx4090", True, 25.0),
+}
+
+#: Pure-corruption stream for the model-capacity tolerance sweep
+#: (no crashes, so detection rate isolates perception robustness).
+_CORRUPTION_SWEEP = (FaultSpec(FaultKind.FRAME_CORRUPTION,
+                               probability=0.65, magnitude=1.0),)
+_SWEEP_MODELS = ("yolov8-n", "yolov8-m", "yolov8-x")
+
+
+def _placement(name: str) -> PipelineConfig:
+    model, device, offboard, rtt = _PLACEMENTS.get(
+        name, _DEFAULT_PLACEMENT)
+    return PipelineConfig(detector_model=model, device=device,
+                          offboard=offboard, network_rtt_ms=rtt)
+
+
+def run(seed: int = 7, n_frames: int = 140) -> ExperimentResult:
+    if n_frames < 120:
+        raise BenchmarkError(
+            "chaos scenarios are calibrated for runs of >= 120 frames")
+    builder = DatasetBuilder(seed=seed, image_size=64)
+    index = builder.build_scaled(0.005)
+    frames = builder.render_records(index.records[:n_frames])
+
+    # Fault-free reference runs (per placement) for missed-alert rates.
+    references: Dict[Tuple, object] = {}
+
+    def reference(config: PipelineConfig):
+        key = (config.detector_model, config.device, config.offboard)
+        if key not in references:
+            references[key] = VipPipeline(config, seed=seed).run(frames)
+        return references[key]
+
+    rows = []
+    hardened: Dict[str, object] = {}
+    unhardened_avail: Dict[str, float] = {}
+    unhardened_raised: Dict[str, bool] = {}
+    for name in scenario_names():
+        config = _placement(name)
+        specs = scenario(name)
+        hard = VipPipeline(
+            config, seed=seed,
+            injector=FaultInjector(specs, seed=seed)).run(frames)
+        hardened[name] = hard
+        try:
+            soft = VipPipeline(
+                config, seed=seed,
+                injector=FaultInjector(specs, seed=seed),
+                resilience=ResilienceConfig(enabled=False)).run(frames)
+            unhardened_avail[name] = soft.availability
+            unhardened_raised[name] = False
+            soft_cell = f"{soft.availability:.3f}"
+        except FaultError:
+            unhardened_avail[name] = 0.0
+            unhardened_raised[name] = True
+            soft_cell = "raised"
+        miss = missed_alert_rate(reference(config).alerts, hard.alerts)
+        rows.append([
+            name, config.detector_model, config.device,
+            hard.availability, hard.degraded_frames,
+            hard.safe_stop_frames, hard.mttr_frames,
+            hard.fallback_count, miss, soft_cell,
+        ])
+
+    # Model-capacity corruption tolerance sweep (fixed fast device so
+    # timing never confounds the perception effect).  Common random
+    # numbers: all models share one perceptor draw stream, so a higher
+    # per-frame detection probability yields a superset of detections
+    # and the capacity ordering is deterministic, not sampling luck.
+    tolerance: Dict[str, float] = {}
+    for model in _SWEEP_MODELS:
+        config = PipelineConfig(detector_model=model, device="rtx4090")
+        rep = VipPipeline(
+            config, seed=seed,
+            perceptor=_OraclePerceptor(model, seed,
+                                       stream="chaos-sweep"),
+            injector=FaultInjector(_CORRUPTION_SWEEP,
+                                   seed=seed)).run(frames)
+        tolerance[model] = rep.detection_rate
+        rows.append(["corruption_sweep", model, "rtx4090",
+                     rep.availability, rep.degraded_frames, 0,
+                     float("nan"), rep.fallback_count,
+                     float("nan"), "-"])
+
+    def alert_kinds(report) -> set:
+        return {a.kind for a in report.alerts}
+
+    blackout = hardened["gps_denied_blackout"]
+    claims = {
+        "hardened availability >= 0.9 under every chaos scenario": all(
+            rep.availability >= AVAILABILITY_FLOOR
+            for rep in hardened.values()),
+        "hardened pipeline alerts DEGRADED when fallbacks engage "
+        "(never silent)": all(
+            rep.fallback_count > 0 and
+            (AlertKind.DEGRADED in alert_kinds(rep)
+             or AlertKind.SAFE_STOP in alert_kinds(rep))
+            for rep in hardened.values()),
+        "unhardened pipeline crashes or stalls below the floor "
+        "under every scenario": all(
+            unhardened_raised[n]
+            or unhardened_avail[n] < AVAILABILITY_FLOOR
+            for n in hardened),
+        "long blackout walks the full ladder and recovers "
+        "(SAFE_STOP with finite MTTR)":
+            AlertKind.SAFE_STOP in alert_kinds(blackout)
+            and blackout.safe_stop_frames > 0
+            and blackout.mttr_frames == blackout.mttr_frames,
+        "larger detectors tolerate frame corruption better":
+            tolerance["yolov8-m"] > tolerance["yolov8-n"]
+            and tolerance["yolov8-x"] > tolerance["yolov8-n"],
+        "crash-only faults cost no availability on the hardened "
+        "pipeline (retry + coast absorb them)":
+            hardened["flaky_detector"].availability > 0.95,
+    }
+    measured = {
+        "availability_floor": AVAILABILITY_FLOOR,
+        "worst_hardened_availability": min(
+            rep.availability for rep in hardened.values()),
+        "corruption_detection_rate_n": tolerance["yolov8-n"],
+        "corruption_detection_rate_x": tolerance["yolov8-x"],
+        "scenarios": float(len(hardened)),
+    }
+    return ExperimentResult(
+        experiment_id="ablation_chaos",
+        title="Ablation: chaos resilience and graceful degradation",
+        headers=["Scenario", "Detector", "Device", "Availability",
+                 "Degraded frames", "Safe-stop frames", "MTTR (frames)",
+                 "Fallbacks", "Missed-alert rate", "Unhardened avail."],
+        rows=rows,
+        claims=claims,
+        paper_reference={"extraction_fps": 10.0},
+        measured=measured,
+    )

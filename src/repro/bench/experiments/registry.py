@@ -13,12 +13,12 @@ from typing import Dict, List
 from ...errors import BenchmarkError
 from ..runner import ExperimentResult, ExperimentRunner
 from . import (ablation_adaptive, ablation_calibration,
-               ablation_deployment, ablation_efficiency,
-               ablation_fleet, ablation_multimodal,
-               ablation_percategory, ablation_pipeline,
-               ablation_precision, ablation_sampling,
-               ablation_severity, ablation_strata, fig1_curation,
-               fig2_gallery, fig3_diverse,
+               ablation_chaos, ablation_deployment,
+               ablation_efficiency, ablation_fleet,
+               ablation_multimodal, ablation_percategory,
+               ablation_pipeline, ablation_precision,
+               ablation_sampling, ablation_severity, ablation_strata,
+               fig1_curation, fig2_gallery, fig3_diverse,
                fig4_adversarial, fig5_edge_latency, fig6_workstation,
                table1_dataset, table2_models, table3_devices)
 
@@ -38,6 +38,7 @@ FAST_EXPERIMENTS: Dict[str, object] = {
     "ablation_deployment": ablation_deployment.run,
     "ablation_pipeline": ablation_pipeline.run,
     "ablation_adaptive": ablation_adaptive.run,
+    "ablation_chaos": ablation_chaos.run,
     "ablation_efficiency": ablation_efficiency.run,
     "ablation_precision": ablation_precision.run,
     "ablation_fleet": ablation_fleet.run,

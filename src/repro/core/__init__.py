@@ -9,6 +9,7 @@ from .deployment import (
     PlacementConstraints,
 )
 from .tracker import IoUTracker, Track
+from .kalman import KalmanTracker
 from .pipeline import VipPipeline, PipelineConfig, PipelineReport
 from .alerts import Alert, AlertKind, AlertPolicy
 from .adaptive import (
@@ -23,7 +24,7 @@ __all__ = [
     "OcularoneBench", "SuiteReport",
     "TradeoffPoint", "accuracy_latency_tradeoff", "pareto_front",
     "DeploymentAdvisor", "DeploymentPlan", "PlacementConstraints",
-    "IoUTracker", "Track",
+    "IoUTracker", "Track", "KalmanTracker",
     "VipPipeline", "PipelineConfig", "PipelineReport",
     "Alert", "AlertKind", "AlertPolicy",
     "AdaptiveArm", "AdaptiveController", "AdaptiveDeployment",

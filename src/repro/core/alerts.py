@@ -28,6 +28,10 @@ class AlertKind(enum.Enum):
     OBSTACLE = "obstacle"
     FALL = "fall"
     VIP_LOST = "vip_lost"
+    #: Fallbacks engaged — guidance continues at reduced fidelity.
+    DEGRADED = "degraded"
+    #: No usable guidance — the user is told to stop and wait.
+    SAFE_STOP = "safe_stop"
 
 
 @dataclass(frozen=True)

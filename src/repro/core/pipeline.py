@@ -12,23 +12,38 @@ pair is real-time feasible — the question §4.2.3/4 answer.
 Perception is pluggable: by default an *oracle-with-noise* perceptor
 driven by renderer ground truth and the accuracy surrogate's error rate
 (fast, deterministic); examples plug in actually-trained mini models.
+
+The loop is hardened against runtime faults (:mod:`repro.faults`):
+every stage runs under a guarded executor (watchdog budget, bounded
+retries), failures engage a fallback ladder — detector loss → Kalman
+coast, depth loss → bbox-size ranging, pose loss → fall check skipped —
+and a health state machine (NOMINAL → DEGRADED → SAFE_STOP) converts
+fault pressure into explicit DEGRADED / SAFE_STOP alerts instead of
+silence.  ``ResilienceConfig(enabled=False)`` reproduces the naive
+loop for A/B chaos comparisons.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import EXTRACTION_FPS
 from ..errors import BenchmarkError
+from ..faults.guard import ResilienceConfig, StageExecutor
+from ..faults.health import HealthMonitor, HealthState
+from ..faults.injector import (DROPOUT_TAG, FaultInjector,
+                               corruption_severity_from_tags)
 from ..geometry.bbox import BBox
 from ..latency.sampler import LatencySampler
 from ..rng import coerce_rng
 from ..train.surrogate import AccuracySurrogate, SurrogateQuery
 from ..units import fps_to_period_ms
 from .alerts import Alert, AlertKind, AlertPolicy, obstacle_distance
+from .kalman import KalmanTracker
+from .range_estimation import range_from_box_height
 from .tracker import IoUTracker
 
 #: Perceptor signature: frame → detected vest boxes.
@@ -52,6 +67,15 @@ class PipelineConfig:
     depth_every: int = 2
     pose_phase: int = 0
     depth_phase: int = 1
+    #: Tracker choice: "kalman" (predicts through detection gaps; the
+    #: coast fallback needs it) or "iou" (constant-position greedy
+    #: association).  ``None`` resolves to "kalman" when hardened and
+    #: "iou" for the unhardened baseline.
+    tracker: Optional[str] = None
+    #: Detector placed off-board: every frame pays the network RTT and
+    #: the link can drop (NETWORK_OUTAGE faults).
+    offboard: bool = False
+    network_rtt_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.pose_phase < 0 or self.depth_phase < 0:
@@ -60,6 +84,14 @@ class PipelineConfig:
             raise BenchmarkError("frame_rate must be positive")
         if self.pose_every < 1 or self.depth_every < 1:
             raise BenchmarkError("stage periods must be >= 1")
+        if self.tracker not in (None, "kalman", "iou"):
+            raise BenchmarkError(
+                f"unknown tracker {self.tracker!r}; use 'kalman'/'iou'")
+        if self.offboard and self.network_rtt_ms <= 0:
+            raise BenchmarkError(
+                "off-board placement needs a positive network RTT")
+        if not self.offboard and self.network_rtt_ms != 0.0:
+            raise BenchmarkError("network RTT only applies off-board")
 
 
 @dataclass
@@ -74,6 +106,15 @@ class PipelineReport:
     alerts: List[Alert] = field(default_factory=list)
     per_frame_latency_ms: List[float] = field(default_factory=list)
     track_switches: int = 0
+    # -- resilience accounting (all zero/empty on clean runs) -----------
+    retries: int = 0
+    stage_failures: Dict[str, int] = field(default_factory=dict)
+    fallback_activations: Dict[str, int] = field(default_factory=dict)
+    health_transitions: List[Dict] = field(default_factory=list)
+    frames_by_state: Dict[str, int] = field(default_factory=dict)
+    available_frames: int = 0
+    recovery_frames: List[int] = field(default_factory=list)
+    injected_faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def drop_rate(self) -> float:
@@ -97,32 +138,92 @@ class PipelineReport:
         """Processed every offered frame within budget."""
         return self.frames_dropped == 0
 
+    @property
+    def availability(self) -> float:
+        """Fraction of offered frames with fresh, usable guidance
+        (processed, not SAFE_STOP, not critically failed)."""
+        if self.frames_offered == 0:
+            return float("nan")
+        return self.available_frames / self.frames_offered
+
+    @property
+    def degraded_frames(self) -> int:
+        return self.frames_by_state.get(HealthState.DEGRADED.value, 0)
+
+    @property
+    def safe_stop_frames(self) -> int:
+        return self.frames_by_state.get(HealthState.SAFE_STOP.value, 0)
+
+    @property
+    def mttr_frames(self) -> float:
+        """Mean frames to recover NOMINAL after leaving it (NaN when
+        the run never recovered)."""
+        if not self.recovery_frames:
+            return float("nan")
+        return float(np.mean(self.recovery_frames))
+
+    @property
+    def fallback_count(self) -> int:
+        return sum(self.fallback_activations.values())
+
     def summary(self) -> dict:
+        """Total summary: safe on empty and all-dropped runs."""
+        offered = self.frames_offered
         return {
-            "offered": self.frames_offered,
+            "offered": offered,
             "processed": self.frames_processed,
             "dropped": self.frames_dropped,
-            "drop_rate": self.drop_rate,
+            "drop_rate": self.frames_dropped / offered
+            if offered else 0.0,
             "detection_rate": self.detection_rate,
             "mean_latency_ms": self.mean_latency_ms
             if self.per_frame_latency_ms else float("nan"),
             "alerts": len(self.alerts),
+            "availability": self.availability,
+            "degraded_frames": self.degraded_frames,
+            "safe_stop_frames": self.safe_stop_frames,
+            "mttr_frames": self.mttr_frames,
+            "fallbacks": dict(self.fallback_activations),
+            "stage_failures": dict(self.stage_failures),
+            "retries": self.retries,
         }
+
+    def _bump(self, counter: Dict[str, int], key: str) -> None:
+        counter[key] = counter.get(key, 0) + 1
 
 
 class _OraclePerceptor:
-    """Ground-truth detector with surrogate-calibrated miss rate."""
+    """Ground-truth detector with surrogate-calibrated miss rate.
 
-    def __init__(self, model: str, seed: int) -> None:
+    Corruption-aware: on frames tagged by the fault injector the
+    detection probability degrades toward the model's *adversarial*
+    accuracy, so larger (more robust) detectors tolerate corrupted
+    input measurably better — the paper's adversarial-stratum effect.
+    """
+
+    def __init__(self, model: str, seed: int,
+                 stream: Optional[str] = None) -> None:
         surrogate = AccuracySurrogate()
         self._p_detect = surrogate.expected_accuracy(
             SurrogateQuery(model, "diverse"))
-        self._rng = coerce_rng(seed, "pipeline-perceptor", model)
+        self._p_adversarial = surrogate.expected_accuracy(
+            SurrogateQuery(model, "adversarial"))
+        # ``stream`` decouples the draw sequence from the model name:
+        # sweeps that compare models under identical conditions pass a
+        # shared stream (common random numbers), so a higher per-frame
+        # detection probability implies a superset of detections.
+        self._rng = coerce_rng(seed, "pipeline-perceptor",
+                               stream if stream is not None else model)
 
     def __call__(self, frame) -> List[BBox]:
         if not frame.vest_boxes:
             return []
-        if self._rng.random() > self._p_detect:
+        p = self._p_detect
+        severity = corruption_severity_from_tags(
+            frame.applied_corruptions)
+        if severity > 0.0:
+            p *= 1.0 - severity * (1.0 - self._p_adversarial)
+        if self._rng.random() > p:
             return []
         return list(frame.vest_boxes)
 
@@ -132,12 +233,23 @@ class VipPipeline:
 
     def __init__(self, config: PipelineConfig = PipelineConfig(),
                  perceptor: Optional[Perceptor] = None,
-                 seed: int = 7) -> None:
+                 seed: int = 7,
+                 injector: Optional[FaultInjector] = None,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         self.config = config
         self.seed = seed
         self.perceptor = perceptor if perceptor is not None \
             else _OraclePerceptor(config.detector_model, seed)
-        self.tracker = IoUTracker()
+        self.resilience = resilience if resilience is not None \
+            else ResilienceConfig()
+        self.injector = injector
+        tracker_kind = config.tracker or (
+            "kalman" if self.resilience.enabled else "iou")
+        if tracker_kind == "kalman":
+            self.tracker = KalmanTracker(
+                max_misses=self.resilience.coast_max_misses)
+        else:
+            self.tracker = IoUTracker()
         self.alert_policy = AlertPolicy()
         self._sampler = LatencySampler(seed=seed)
 
@@ -153,35 +265,109 @@ class VipPipeline:
                 "monodepth2", cfg.device, n_frames)
         return lat
 
+    # -- stage payloads ------------------------------------------------------
+
+    def _nearest_from_depth(self, frame) -> Optional[float]:
+        """Nominal obstacle ranging: depth-map median per object box."""
+        nearest = None
+        for obox in frame.object_boxes:
+            d = obstacle_distance(frame.depth, obox)
+            if not np.isfinite(d):
+                continue
+            if nearest is None or d < nearest:
+                nearest = d
+        return nearest
+
+    def _nearest_from_boxes(self, frame) -> Optional[float]:
+        """Fallback obstacle ranging from detection geometry alone
+        (pinhole inverse on box height) when the depth stage is out."""
+        image_h = frame.image.shape[0]
+        nearest = None
+        for obox in frame.object_boxes:
+            try:
+                d = range_from_box_height(
+                    obox, image_h, focal=frame.spec.camera.focal,
+                    box_is_vest=False)
+            except BenchmarkError:
+                continue
+            if nearest is None or d < nearest:
+                nearest = d
+        return nearest
+
+    # -- the loop ------------------------------------------------------------
+
     def run(self, frames: Sequence) -> PipelineReport:
         """Process rendered frames arriving at the configured rate."""
         if not frames:
             raise BenchmarkError("no frames for pipeline run")
         cfg = self.config
+        res = self.resilience
         period = fps_to_period_ms(cfg.frame_rate)
+        inj = self.injector
+        if inj is not None:
+            inj.prepare(len(frames))
         lat = self._stage_latencies(len(frames))
+        executor = StageExecutor(res, inj, period,
+                                 offboard=cfg.offboard)
+        health = HealthMonitor(res.health)
         report = PipelineReport()
         busy_until = 0.0
         prev_track_id: Optional[int] = None
         processed_i = 0
+        shed_until = -1
 
         for i, frame in enumerate(frames):
             arrival = i * period
             report.frames_offered += 1
             if arrival < busy_until:
                 report.frames_dropped += 1
+                health.idle_tick()       # no fresh guidance this frame
                 continue
 
-            total_ms = float(lat["detect"][processed_i])
-            boxes = self.perceptor(frame)
-            self.tracker.update(boxes)
-            primary = self.tracker.primary_track()
+            seen = inj.apply_to_frame(frame, i) if inj is not None \
+                else frame
+            sensor_out = DROPOUT_TAG in seen.applied_corruptions
+            degraded = False
+            critical = False
+            shedding = res.enabled and res.load_shedding \
+                and i <= shed_until
+
+            # -- detect stage (guarded) --------------------------------
+            detect_cost = float(lat["detect"][processed_i])
+            if cfg.offboard:
+                detect_cost += cfg.network_rtt_ms
+            out = executor.run("detect", i, detect_cost,
+                               lambda: list(self.perceptor(seen)))
+            total_ms = out.cost_ms
+            report.retries += out.attempts - 1
 
             has_truth = bool(frame.vest_boxes)
-            if boxes and has_truth:
-                report.detections += 1
-            elif has_truth:
-                report.missed_detections += 1
+            if out.status.failed:
+                report._bump(report.stage_failures, "detect")
+                boxes: Optional[List[BBox]] = None
+            else:
+                boxes = out.value
+                if boxes and has_truth:
+                    report.detections += 1
+                elif has_truth:
+                    report.missed_detections += 1
+
+            # Track update; a failed detect stage coasts the tracker
+            # through the gap (Kalman predicts, IoU merely ages).
+            self.tracker.update(boxes if boxes is not None else [])
+            primary = self.tracker.primary_track()
+            if boxes is None:
+                degraded = True
+                critical = primary is None
+                if res.fallbacks:
+                    report._bump(report.fallback_activations,
+                                 "detect:kalman_coast")
+            if sensor_out:
+                degraded = True
+                critical = critical or primary is None
+                if res.fallbacks:
+                    report._bump(report.fallback_activations,
+                                 "sensor:kalman_coast")
 
             if primary is not None and prev_track_id is not None \
                     and primary.track_id != prev_track_id:
@@ -197,40 +383,108 @@ class VipPipeline:
             if alert:
                 report.alerts.append(alert)
 
-            # Pose stage: fall detection from renderer pose ground truth
-            # (the SVM path is exercised directly in tests/examples).
-            if cfg.run_pose and \
-                    processed_i % cfg.pose_every == \
-                    cfg.pose_phase % cfg.pose_every:
-                total_ms += float(lat["pose"][processed_i])
-                falling = frame.spec.is_fall()
-                alert = self.alert_policy.observe(
-                    AlertKind.FALL, falling, i, "Fall detected!")
-                if alert:
-                    report.alerts.append(alert)
+            # -- pose stage: fall detection (guarded) ------------------
+            pose_due = cfg.run_pose and \
+                processed_i % cfg.pose_every == \
+                cfg.pose_phase % cfg.pose_every
+            if pose_due and shedding:
+                report._bump(report.fallback_activations,
+                             "load_shed:pose")
+                degraded = True
+            elif pose_due:
+                def pose_fn():
+                    # A blanked frame yields a silent "no fall" — the
+                    # dangerous failure mode DEGRADED alerts surface.
+                    if sensor_out:
+                        return False
+                    return bool(frame.spec.is_fall())
 
-            # Depth stage: obstacle ranging over detected objects.
-            if cfg.run_depth and \
-                    processed_i % cfg.depth_every == \
-                    cfg.depth_phase % cfg.depth_every:
-                total_ms += float(lat["depth"][processed_i])
-                nearest = None
-                for obox in frame.object_boxes:
-                    d = obstacle_distance(frame.depth, obox)
-                    if nearest is None or d < nearest:
-                        nearest = d
-                near = (nearest is not None
-                        and nearest < self.alert_policy.
-                        obstacle_distance_m)
-                alert = self.alert_policy.observe(
-                    AlertKind.OBSTACLE, near, i,
-                    f"Obstacle at {nearest:.1f} m" if nearest else "",
-                    distance_m=nearest)
-                if alert:
-                    report.alerts.append(alert)
+                out = executor.run("pose", i,
+                                   float(lat["pose"][processed_i]),
+                                   pose_fn)
+                total_ms += out.cost_ms
+                report.retries += out.attempts - 1
+                if out.status.failed:
+                    report._bump(report.stage_failures, "pose")
+                    degraded = True
+                    if res.fallbacks:
+                        report._bump(report.fallback_activations,
+                                     "pose:skip_fall_check")
+                else:
+                    alert = self.alert_policy.observe(
+                        AlertKind.FALL, bool(out.value), i,
+                        "Fall detected!")
+                    if alert:
+                        report.alerts.append(alert)
+
+            # -- depth stage: obstacle ranging (guarded) ---------------
+            depth_due = cfg.run_depth and \
+                processed_i % cfg.depth_every == \
+                cfg.depth_phase % cfg.depth_every
+            if depth_due and shedding:
+                report._bump(report.fallback_activations,
+                             "load_shed:depth")
+                degraded = True
+            elif depth_due:
+                out = executor.run(
+                    "depth", i, float(lat["depth"][processed_i]),
+                    lambda: self._nearest_from_depth(seen))
+                total_ms += out.cost_ms
+                report.retries += out.attempts - 1
+                nearest: Optional[float] = None
+                have_range = False
+                if out.status.failed:
+                    report._bump(report.stage_failures, "depth")
+                    degraded = True
+                    if res.fallbacks:
+                        nearest = self._nearest_from_boxes(seen)
+                        have_range = True
+                        report._bump(report.fallback_activations,
+                                     "depth:bbox_range")
+                else:
+                    nearest = out.value
+                    have_range = True
+                if have_range:
+                    near = (nearest is not None
+                            and nearest < self.alert_policy.
+                            obstacle_distance_m)
+                    alert = self.alert_policy.observe(
+                        AlertKind.OBSTACLE, near, i,
+                        f"Obstacle at {nearest:.1f} m"
+                        if nearest is not None else "",
+                        distance_m=nearest)
+                    if alert:
+                        report.alerts.append(alert)
+
+            # -- health, availability, load shedding -------------------
+            record = health.observe(i, degraded, critical)
+            if record is not None:
+                report.health_transitions.append(record)
+                if res.enabled:
+                    if record["to"] == HealthState.SAFE_STOP.value:
+                        report.alerts.append(Alert(
+                            AlertKind.SAFE_STOP, i,
+                            "Guidance unavailable — stop and wait"))
+                    elif record["to"] == HealthState.DEGRADED.value \
+                            and record["from"] == \
+                            HealthState.NOMINAL.value:
+                        report.alerts.append(Alert(
+                            AlertKind.DEGRADED, i,
+                            f"Guidance degraded — {record['reason']}"))
+            if health.state is not HealthState.SAFE_STOP \
+                    and not critical:
+                report.available_frames += 1
 
             report.per_frame_latency_ms.append(total_ms)
             report.frames_processed += 1
             busy_until = arrival + total_ms
             processed_i += 1
+            if res.enabled and res.load_shedding \
+                    and total_ms > res.shed_enter_factor * period:
+                shed_until = i + res.shed_dwell_frames
+
+        report.frames_by_state = dict(health.frames_in_state)
+        report.recovery_frames = list(health.recovery_frames)
+        if inj is not None:
+            report.injected_faults = dict(inj.injected)
         return report

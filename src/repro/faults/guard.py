@@ -1,0 +1,240 @@
+"""Guarded stage execution: adaptive watchdogs, bounded retries.
+
+The pipeline is a discrete-event simulation — stage "time" is the
+sampled latency, not wall clock — so the watchdog is simulated too: a
+stage whose (fault-inflated) latency would exceed its timeout is
+charged exactly the timeout and reported TIMED_OUT, the way a
+deadline-killed thread costs its deadline.
+
+The timeout is *adaptive*, TCP-RTO style: ``envelope × EWMA of the
+stage's recently observed latency`` (with an absolute floor in frame
+periods).  That distinction matters: a model that is slow *nominally*
+(YOLOv8-x on a Xavier NX) must keep paying its real latency so the
+feasibility benchmarks stay honest, while a 12× stall on a stage that
+normally fits its envelope is an anomaly the watchdog kills.  Gradual
+platform slowdowns (thermal throttle, battery sag) inflate the
+baseline and are therefore tolerated — load shedding, not the
+watchdog, handles those.
+
+Crashes (injected, or real exceptions from a plugged-in perceptor) are
+retried with a cheap fail-fast charge; an off-board link outage is
+charged the client timeout and reported LINK_DOWN.
+
+With ``ResilienceConfig(enabled=False)`` the guard reproduces the
+naive loop: no watchdog (hangs are paid in full), no retries, and
+crashes propagate as :class:`~repro.errors.FaultError` — the baseline
+the chaos ablation contrasts against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from ..errors import ConfigError, FaultError
+from .health import HealthConfig
+from .injector import FaultInjector
+from .spec import STAGES
+
+
+class StageStatus(enum.Enum):
+    OK = "ok"
+    CRASHED = "crashed"
+    TIMED_OUT = "timed_out"
+    LINK_DOWN = "link_down"
+
+    @property
+    def failed(self) -> bool:
+        return self is not StageStatus.OK
+
+
+@dataclass
+class StageOutcome:
+    """What one guarded stage execution produced."""
+
+    stage: str
+    status: StageStatus
+    value: Any = None
+    cost_ms: float = 0.0
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Hardening knobs for the guarded pipeline."""
+
+    #: Master switch: False reproduces the unguarded (seed) behaviour.
+    enabled: bool = True
+    #: Engage fallbacks (coast / bbox ranging / stage skip) on failure.
+    fallbacks: bool = True
+    #: Abort a stage whose latency exceeds its adaptive timeout.
+    watchdog: bool = True
+    #: Per-stage timeout envelope: kill at ``envelope × EWMA`` of the
+    #: stage's observed latency (anomaly detection, not a deadline).
+    watchdog_envelopes: Mapping[str, float] = field(
+        default_factory=lambda: {"detect": 2.5, "pose": 2.5,
+                                 "depth": 2.5})
+    #: Never time out below this many frame periods (grace floor for
+    #: stages whose nominal cost is tiny next to the frame budget).
+    watchdog_floor_periods: float = 0.5
+    #: EWMA weight for the adaptive latency baseline.
+    baseline_beta: float = 0.3
+    #: Client deadline charged when the off-board link is down.
+    link_timeout_periods: float = 1.0
+    #: Extra attempts after a crashed stage (transient-fault recovery).
+    max_retries: int = 1
+    #: A failed attempt is charged this fraction of its latency
+    #: (crashes fail part-way, not at completion).
+    retry_cost_factor: float = 0.5
+    #: Probability a crash persists across a retry (transient faults
+    #: clear; sticky ones survive).
+    crash_persistence: float = 0.4
+    #: Frames the Kalman tracker may coast without a detection before
+    #: the track (and with it, guidance) is abandoned.
+    coast_max_misses: int = 32
+    #: Load shedding: when a frame overruns ``shed_enter_factor ×
+    #: period``, skip pose/depth for ``shed_dwell_frames`` frames, then
+    #: probe again.
+    load_shedding: bool = True
+    shed_enter_factor: float = 1.0
+    shed_dwell_frames: int = 10
+    health: HealthConfig = field(default_factory=HealthConfig)
+
+    def __post_init__(self) -> None:
+        for stage in STAGES:
+            if stage not in self.watchdog_envelopes:
+                raise ConfigError(f"no watchdog envelope for {stage!r}")
+            if self.watchdog_envelopes[stage] <= 1.0:
+                raise ConfigError("watchdog envelopes must exceed 1")
+        if self.watchdog_floor_periods < 0:
+            raise ConfigError("watchdog floor must be non-negative")
+        if not 0.0 < self.baseline_beta <= 1.0:
+            raise ConfigError("baseline_beta outside (0, 1]")
+        if self.link_timeout_periods <= 0:
+            raise ConfigError("link timeout must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if not 0.0 < self.retry_cost_factor <= 1.0:
+            raise ConfigError("retry_cost_factor outside (0, 1]")
+        if not 0.0 <= self.crash_persistence <= 1.0:
+            raise ConfigError("crash_persistence outside [0, 1]")
+        if self.coast_max_misses < 1:
+            raise ConfigError("coast_max_misses must be >= 1")
+        if self.shed_enter_factor <= 0 or self.shed_dwell_frames < 1:
+            raise ConfigError("bad load-shedding parameters")
+
+
+class StageExecutor:
+    """Runs pipeline stages under the resilience policy."""
+
+    def __init__(self, resilience: ResilienceConfig,
+                 injector: Optional[FaultInjector],
+                 period_ms: float, offboard: bool = False) -> None:
+        if period_ms <= 0:
+            raise ConfigError("period must be positive")
+        self.resilience = resilience
+        self.injector = injector
+        self.period_ms = period_ms
+        self.offboard = offboard
+        #: Adaptive per-stage latency baseline (EWMA of observed costs).
+        self._baseline: dict = {}
+
+    def timeout_ms(self, stage: str, base_cost_ms: float) -> float:
+        """Current watchdog timeout for ``stage`` given this frame's
+        sampled base cost (used to seed an unseen stage's baseline)."""
+        baseline = self._baseline.get(stage, base_cost_ms)
+        return max(
+            self.resilience.watchdog_envelopes[stage] * baseline,
+            self.resilience.watchdog_floor_periods * self.period_ms)
+
+    def run(self, stage: str, frame_index: int, base_cost_ms: float,
+            fn: Callable[[], Any]) -> StageOutcome:
+        """Execute ``fn`` as ``stage`` for this frame.
+
+        Returns a :class:`StageOutcome`; never raises when hardened.
+        Unhardened, injected crashes / down links / real exceptions
+        propagate as :class:`FaultError` — the seed pipeline's failure
+        mode.
+        """
+        if stage not in STAGES:
+            raise ConfigError(f"unknown stage {stage!r}")
+        res = self.resilience
+        inj = self.injector
+        attempt_cost = base_cost_ms
+        if inj is not None:
+            attempt_cost *= inj.hang_factor(stage, frame_index) \
+                * inj.slowdown(frame_index)
+
+        link_down = (self.offboard and stage == "detect"
+                     and inj is not None and inj.link_down(frame_index))
+        if not res.enabled:
+            return self._run_unguarded(stage, frame_index, attempt_cost,
+                                       fn, link_down)
+
+        if link_down:
+            # The request stalls until the client deadline fires.
+            return StageOutcome(
+                stage, StageStatus.LINK_DOWN,
+                cost_ms=res.link_timeout_periods * self.period_ms)
+
+        timeout = self.timeout_ms(stage, base_cost_ms)
+        cost = 0.0
+        attempts = 0
+        for attempt in range(res.max_retries + 1):
+            attempts += 1
+            if res.watchdog and attempt_cost > timeout:
+                # A hang persists within the frame: abort, don't retry.
+                return StageOutcome(stage, StageStatus.TIMED_OUT,
+                                    cost_ms=cost + timeout,
+                                    attempts=attempts)
+            crashed = False
+            if inj is not None:
+                crashed = inj.stage_crash(stage, frame_index) \
+                    if attempt == 0 else inj.retry_crash(
+                        stage, frame_index, res.crash_persistence)
+            value = None
+            if not crashed:
+                try:
+                    value = fn()
+                except Exception:
+                    crashed = True
+            if crashed:
+                cost += attempt_cost * res.retry_cost_factor
+                continue
+            self._observe(stage, attempt_cost)
+            return StageOutcome(stage, StageStatus.OK, value=value,
+                                cost_ms=cost + attempt_cost,
+                                attempts=attempts)
+        return StageOutcome(stage, StageStatus.CRASHED, cost_ms=cost,
+                            attempts=attempts)
+
+    def _observe(self, stage: str, cost_ms: float) -> None:
+        """Fold a successful stage execution into the EWMA baseline."""
+        beta = self.resilience.baseline_beta
+        prev = self._baseline.get(stage)
+        self._baseline[stage] = cost_ms if prev is None \
+            else (1.0 - beta) * prev + beta * cost_ms
+
+    def _run_unguarded(self, stage: str, frame_index: int,
+                       attempt_cost: float, fn: Callable[[], Any],
+                       link_down: bool) -> StageOutcome:
+        """Seed behaviour: pay hangs in full, crash on any fault."""
+        if link_down:
+            raise FaultError(
+                f"network link down at frame {frame_index} "
+                f"({stage} placed off-board)")
+        if self.injector is not None and \
+                self.injector.stage_crash(stage, frame_index):
+            raise FaultError(
+                f"{stage} stage crashed at frame {frame_index}")
+        try:
+            value = fn()
+        except FaultError:
+            raise
+        except Exception as exc:
+            raise FaultError(
+                f"{stage} stage raised at frame {frame_index}: "
+                f"{exc}") from exc
+        return StageOutcome(stage, StageStatus.OK, value=value,
+                            cost_ms=attempt_cost)

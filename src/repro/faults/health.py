@@ -1,0 +1,127 @@
+"""Pipeline health state machine: NOMINAL → DEGRADED → SAFE_STOP.
+
+Guidance for a visually-impaired user must never fail *silently*: when
+fallbacks engage the user should hear a DEGRADED prompt, and when no
+usable guidance remains the only safe action is an explicit stop
+("please wait — re-acquiring").  The monitor mirrors the hysteresis
+style of :mod:`repro.core.adaptive`: transitions fire on sustained
+evidence (consecutive-frame dwell counts), never on a single frame's
+blip, and recovery steps down one level at a time.
+
+Frame verdicts fed to :meth:`HealthMonitor.observe`:
+
+* ``degraded`` — a fallback engaged this frame (coast, bbox ranging,
+  skipped stage, load shed);
+* ``critical`` — no usable guidance at all this frame (no track to
+  coast on, total perception failure).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+
+class HealthState(enum.Enum):
+    NOMINAL = "nominal"
+    DEGRADED = "degraded"
+    SAFE_STOP = "safe_stop"
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Dwell thresholds (all in frames)."""
+
+    #: Consecutive critical frames that force DEGRADED → SAFE_STOP.
+    safe_stop_after: int = 6
+    #: Consecutive clean frames to recover one level (hysteresis).
+    recover_dwell: int = 5
+
+    def __post_init__(self) -> None:
+        if self.safe_stop_after < 1 or self.recover_dwell < 1:
+            raise ConfigError("health dwell counts must be >= 1")
+
+
+@dataclass
+class HealthMonitor:
+    """Tracks pipeline health over a run; records every transition."""
+
+    config: HealthConfig = field(default_factory=HealthConfig)
+    state: HealthState = HealthState.NOMINAL
+    transitions: List[Dict] = field(default_factory=list)
+    frames_in_state: Dict[str, int] = field(default_factory=dict)
+    #: Completed excursions: frames spent away from NOMINAL per episode.
+    recovery_frames: List[int] = field(default_factory=list)
+
+    _consecutive_clean: int = 0
+    _consecutive_critical: int = 0
+    _left_nominal_at: Optional[int] = None
+
+    def observe(self, frame_index: int, degraded: bool,
+                critical: bool) -> Optional[Dict]:
+        """Feed one processed frame's verdict; returns a transition
+        record (``{"frame", "from", "to", "reason"}``) when the state
+        changes, else ``None``."""
+        clean = not degraded and not critical
+        self._consecutive_clean = self._consecutive_clean + 1 if clean \
+            else 0
+        self._consecutive_critical = self._consecutive_critical + 1 \
+            if critical else 0
+
+        record = None
+        if self.state is HealthState.NOMINAL:
+            if critical or degraded:
+                record = self._transition(
+                    frame_index, HealthState.DEGRADED,
+                    "critical frame" if critical else "fallback engaged")
+                self._left_nominal_at = frame_index
+        elif self.state is HealthState.DEGRADED:
+            if self._consecutive_critical >= self.config.safe_stop_after:
+                record = self._transition(
+                    frame_index, HealthState.SAFE_STOP,
+                    f"{self._consecutive_critical} consecutive "
+                    "critical frames")
+            elif self._consecutive_clean >= self.config.recover_dwell:
+                record = self._recover(frame_index, HealthState.NOMINAL)
+        elif self.state is HealthState.SAFE_STOP:
+            if self._consecutive_clean >= self.config.recover_dwell:
+                record = self._transition(
+                    frame_index, HealthState.DEGRADED,
+                    "guidance recovering")
+        self._tick()
+        return record
+
+    def idle_tick(self) -> None:
+        """Account a frame that produced no new evidence (dropped)."""
+        self._tick()
+
+    def _tick(self) -> None:
+        key = self.state.value
+        self.frames_in_state[key] = self.frames_in_state.get(key, 0) + 1
+
+    def _transition(self, frame_index: int, to: HealthState,
+                    reason: str) -> Dict:
+        record = {"frame": frame_index, "from": self.state.value,
+                  "to": to.value, "reason": reason}
+        self.state = to
+        self.transitions.append(record)
+        return record
+
+    def _recover(self, frame_index: int, to: HealthState) -> Dict:
+        record = self._transition(frame_index, to, "sustained recovery")
+        if self._left_nominal_at is not None:
+            self.recovery_frames.append(
+                frame_index - self._left_nominal_at)
+            self._left_nominal_at = None
+        return record
+
+    @property
+    def mttr_frames(self) -> float:
+        """Mean frames to recover NOMINAL (NaN with no completed
+        excursion)."""
+        if not self.recovery_frames:
+            return float("nan")
+        return sum(self.recovery_frames) / len(self.recovery_frames)

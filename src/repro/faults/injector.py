@@ -1,0 +1,207 @@
+"""Seeded fault injection driven by :mod:`repro.rng` streams.
+
+The injector turns a tuple of :class:`~repro.faults.spec.FaultSpec`
+into per-frame fault decisions.  All stochastic draws happen in
+:meth:`FaultInjector.prepare` on dedicated ``("faults", …)`` RNG
+streams, one per spec, so
+
+* the same ``(seed, specs)`` always injects the identical fault
+  sequence (bit-reproducible chaos runs), and
+* querying order never perturbs the draws (the "no spooky action"
+  contract of :mod:`repro.rng`).
+
+Frame-content faults are applied functionally:
+:meth:`FaultInjector.apply_to_frame` returns a *new* frame (blanked on
+dropout, noise-corrupted and tagged on corruption) and never mutates
+the renderer's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, FaultError
+from ..rng import make_rng
+from .spec import STAGES, FaultKind, FaultSpec
+
+#: Corruption tag prefix recorded on ``frame.applied_corruptions``.
+CORRUPTION_TAG = "chaos:corrupt"
+#: Dropout tag recorded on blanked frames.
+DROPOUT_TAG = "chaos:dropout"
+
+
+def corruption_severity_from_tags(tags: Sequence[str]) -> float:
+    """Parse the strongest chaos-corruption severity from frame tags."""
+    severity = 0.0
+    for tag in tags:
+        if tag.startswith(CORRUPTION_TAG + ":"):
+            severity = max(severity, float(tag.rsplit(":", 1)[1]))
+    return severity
+
+
+class FaultInjector:
+    """Per-frame fault decisions for one pipeline run.
+
+    Call :meth:`prepare` with the run length before querying; the
+    pipeline does this automatically.  ``injected`` counts what actually
+    fired, keyed by spec label, for the run report.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (),
+                 seed: int = 7) -> None:
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(f"not a FaultSpec: {spec!r}")
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.injected: Dict[str, int] = {}
+        self._n: Optional[int] = None
+        self._fired: Dict[int, np.ndarray] = {}
+        self._retry_rng = make_rng(seed, "faults", "retry")
+
+    # -- preparation --------------------------------------------------------
+
+    def prepare(self, n_frames: int) -> "FaultInjector":
+        """Draw all per-frame decisions for a run of ``n_frames``."""
+        if n_frames <= 0:
+            raise ConfigError(f"n_frames must be positive, got {n_frames}")
+        self._n = n_frames
+        self._fired.clear()
+        self.injected = {}
+        self._retry_rng = make_rng(self.seed, "faults", "retry")
+        for idx, spec in enumerate(self.specs):
+            rng = make_rng(self.seed, "faults", spec.label, idx)
+            window = np.array([spec.active(i, n_frames)
+                               for i in range(n_frames)])
+            fired = window & (rng.random(n_frames) < spec.probability)
+            self._fired[idx] = fired
+            self.injected[spec.label] = self.injected.get(
+                spec.label, 0) + int(fired.sum())
+        return self
+
+    def _require_prepared(self, frame_index: int) -> None:
+        if self._n is None:
+            raise FaultError("FaultInjector.prepare() not called")
+        if not 0 <= frame_index < self._n:
+            raise FaultError(
+                f"frame {frame_index} outside prepared run of {self._n}")
+
+    def _iter_fired(self, frame_index: int, kind: FaultKind,
+                    stage: Optional[str] = None):
+        self._require_prepared(frame_index)
+        for idx, spec in enumerate(self.specs):
+            if spec.kind is not kind:
+                continue
+            if stage is not None and spec.stage != stage:
+                continue
+            if self._fired[idx][frame_index]:
+                yield spec
+
+    # -- frame-content faults ------------------------------------------------
+
+    def frame_dropped(self, frame_index: int) -> bool:
+        """Did the sensor drop this frame entirely?"""
+        return any(self._iter_fired(frame_index, FaultKind.SENSOR_DROPOUT))
+
+    def corruption_severity(self, frame_index: int) -> float:
+        """Strongest corruption severity active on this frame (0 = clean)."""
+        return max((s.magnitude for s in self._iter_fired(
+            frame_index, FaultKind.FRAME_CORRUPTION)), default=0.0)
+
+    def apply_to_frame(self, frame, frame_index: int):
+        """Return the frame as perception sees it (possibly degraded).
+
+        Dropout blanks pixels and strips every annotation; corruption
+        adds seeded Gaussian noise and records a severity tag that
+        corruption-aware perceptors (and the oracle) can read.  The
+        original frame object is never modified.
+        """
+        if self.frame_dropped(frame_index):
+            return replace(
+                frame,
+                image=np.zeros_like(frame.image),
+                depth=np.full_like(frame.depth, np.inf),
+                vest_boxes=[], object_boxes=[], keypoints=None,
+                applied_corruptions=tuple(frame.applied_corruptions)
+                + (DROPOUT_TAG,))
+        severity = self.corruption_severity(frame_index)
+        if severity <= 0.0:
+            return frame
+        noise_rng = make_rng(self.seed, "faults", "pixels", frame_index)
+        noisy = frame.image + noise_rng.normal(
+            0.0, 0.35 * severity, size=frame.image.shape)
+        return replace(
+            frame,
+            image=np.clip(noisy, 0.0, 1.0).astype(frame.image.dtype),
+            applied_corruptions=tuple(frame.applied_corruptions)
+            + (f"{CORRUPTION_TAG}:{severity:g}",))
+
+    # -- stage faults --------------------------------------------------------
+
+    def stage_crash(self, stage: str, frame_index: int) -> bool:
+        """Does ``stage`` crash on its first attempt this frame?"""
+        if stage not in STAGES:
+            raise ConfigError(f"unknown stage {stage!r}")
+        return any(self._iter_fired(frame_index, FaultKind.STAGE_CRASH,
+                                    stage))
+
+    def retry_crash(self, stage: str, frame_index: int,
+                    persistence: float = 0.4) -> bool:
+        """Does the crash persist across a retry?  Transient faults
+        (the common case) clear; sticky ones survive with
+        ``persistence`` probability.  Sequential stream: deterministic
+        given the pipeline's (sequential) execution order."""
+        if not self.stage_crash(stage, frame_index):
+            return False
+        return bool(self._retry_rng.random() < persistence)
+
+    def hang_factor(self, stage: str, frame_index: int) -> float:
+        """Latency multiplier for ``stage`` this frame (1 = no hang)."""
+        if stage not in STAGES:
+            raise ConfigError(f"unknown stage {stage!r}")
+        factor = 1.0
+        for spec in self._iter_fired(frame_index, FaultKind.STAGE_HANG,
+                                     stage):
+            factor = max(factor, spec.magnitude)
+        return factor
+
+    # -- environment faults --------------------------------------------------
+
+    def link_down(self, frame_index: int) -> bool:
+        """Is the off-board network link down this frame?"""
+        return any(self._iter_fired(frame_index, FaultKind.NETWORK_OUTAGE))
+
+    def slowdown(self, frame_index: int) -> float:
+        """Sustained platform slowdown (thermal × battery) this frame."""
+        self._require_prepared(frame_index)
+        factor = 1.0
+        for idx, spec in enumerate(self.specs):
+            if not self._fired[idx][frame_index]:
+                continue
+            if spec.kind is FaultKind.THERMAL_THROTTLE:
+                factor *= spec.magnitude
+            elif spec.kind is FaultKind.BATTERY_SAG:
+                end = self._n if spec.end_frame is None else spec.end_frame
+                span = max(end - 1 - spec.start_frame, 1)
+                t = min(max(frame_index - spec.start_frame, 0), span) / span
+                factor *= 1.0 + t * (spec.magnitude - 1.0)
+        return factor
+
+    # -- latency-sampler bridge ----------------------------------------------
+
+    def as_latency_hooks(self):
+        """Adapter exposing this injector as sampler latency hooks."""
+        from ..latency.sampler import LatencyHooks
+
+        def factor(i: int) -> float:
+            return self.slowdown(i)
+
+        def extra_ms(i: int) -> float:
+            # A down link stalls the request until the watchdog-ish
+            # client timeout; surface it as one period of extra wait.
+            return 100.0 if self.link_down(i) else 0.0
+
+        return LatencyHooks(factor=factor, extra_ms=extra_ms)

@@ -1,0 +1,47 @@
+"""Resilience metrics comparing faulty runs against fault-free runs.
+
+Availability / MTTR / time-in-degraded live on
+:class:`~repro.core.pipeline.PipelineReport`; this module holds the
+cross-run metric: how many of the alerts a fault-free run would have
+raised did the faulty run miss?  A missed FALL alert is the failure
+mode that actually endangers the VIP — far more important than a
+latency percentile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.alerts import Alert, AlertKind
+from ..errors import ConfigError
+
+#: Alert kinds that carry safety-critical guidance (health chatter like
+#: DEGRADED/SAFE_STOP is excluded from the miss accounting: those exist
+#: *because* of faults).
+GUIDANCE_KINDS = (AlertKind.OBSTACLE, AlertKind.FALL, AlertKind.VIP_LOST)
+
+
+def missed_alert_rate(reference: Sequence[Alert],
+                      observed: Sequence[Alert],
+                      tolerance_frames: int = 12) -> float:
+    """Fraction of reference guidance alerts with no same-kind match
+    within ``tolerance_frames`` in the observed run.
+
+    Returns 0.0 when the reference run raised no guidance alerts
+    (nothing to miss).
+    """
+    if tolerance_frames < 0:
+        raise ConfigError("tolerance must be non-negative")
+    ref = [a for a in reference if a.kind in GUIDANCE_KINDS]
+    if not ref:
+        return 0.0
+    obs_frames: Dict[AlertKind, list] = {}
+    for alert in observed:
+        obs_frames.setdefault(alert.kind, []).append(alert.frame_index)
+    missed = 0
+    for alert in ref:
+        frames = obs_frames.get(alert.kind, [])
+        if not any(abs(f - alert.frame_index) <= tolerance_frames
+                   for f in frames):
+            missed += 1
+    return missed / len(ref)

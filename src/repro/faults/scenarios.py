@@ -1,0 +1,101 @@
+"""Named chaos scenarios: curated fault cocktails for resilience runs.
+
+Each scenario is a tuple of :class:`FaultSpec` calibrated against the
+repo's latency model at the paper's 10 FPS extraction rate so that
+
+* the **hardened** pipeline (watchdogs + retries + fallback ladder)
+  rides it out with availability >= 0.9 while loudly reporting
+  DEGRADED / SAFE_STOP, and
+* the **unhardened** pipeline either crashes outright or stalls below
+  that floor
+
+— the contrast the chaos ablation asserts.  Frame indices assume runs
+of roughly 120–160 frames (12–16 s of guidance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from .spec import FaultKind, FaultSpec
+
+#: name → (description, fault specs)
+SCENARIOS: Dict[str, Tuple[str, Tuple[FaultSpec, ...]]] = {
+    "sensor_blackout": (
+        "camera feed lost for a 2.2 s burst (lens occlusion / glare)",
+        (FaultSpec(FaultKind.SENSOR_DROPOUT, probability=1.0,
+                   start_frame=40, end_frame=62),),
+    ),
+    "gps_denied_blackout": (
+        "long 4 s feed loss: coast budget exhausts, SAFE_STOP engages",
+        (FaultSpec(FaultKind.SENSOR_DROPOUT, probability=1.0,
+                   start_frame=40, end_frame=80),),
+    ),
+    "camera_glitch": (
+        "EMI frame corruption plus occasional decoder crash",
+        (FaultSpec(FaultKind.FRAME_CORRUPTION, probability=0.6,
+                   magnitude=1.0),
+         FaultSpec(FaultKind.STAGE_CRASH, stage="detect",
+                   probability=0.05)),
+    ),
+    "flaky_detector": (
+        "detector stage crashes stochastically (driver resets / OOM)",
+        (FaultSpec(FaultKind.STAGE_CRASH, stage="detect",
+                   probability=0.08),),
+    ),
+    "pose_faults": (
+        "pose estimator crashes; fall checks must degrade, not vanish",
+        (FaultSpec(FaultKind.STAGE_CRASH, stage="pose",
+                   probability=0.35),),
+    ),
+    "depth_stall": (
+        "depth stage hangs 12x on some frames (memory contention)",
+        (FaultSpec(FaultKind.STAGE_HANG, stage="depth",
+                   probability=0.12, magnitude=12.0),),
+    ),
+    "thermal_soak": (
+        "sustained 2x thermal throttle from frame 30 (fan failure)",
+        (FaultSpec(FaultKind.THERMAL_THROTTLE, start_frame=30,
+                   magnitude=2.0),),
+    ),
+    "battery_sag": (
+        "latencies ramp to 2.3x as the battery sags over the run",
+        (FaultSpec(FaultKind.BATTERY_SAG, start_frame=20,
+                   magnitude=2.3),),
+    ),
+    "network_blackout": (
+        "off-board link drops for 2.5 s mid-run (drone out of range)",
+        (FaultSpec(FaultKind.NETWORK_OUTAGE, start_frame=50,
+                   end_frame=75),),
+    ),
+    "rough_flight": (
+        "everything at once, mildly: dropout, corruption, depth hangs",
+        (FaultSpec(FaultKind.SENSOR_DROPOUT, probability=0.06),
+         FaultSpec(FaultKind.FRAME_CORRUPTION, probability=0.3,
+                   magnitude=0.7),
+         FaultSpec(FaultKind.STAGE_HANG, stage="depth",
+                   probability=0.05, magnitude=8.0)),
+    ),
+}
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names (sorted)."""
+    return sorted(SCENARIOS)
+
+
+def scenario(name: str) -> Tuple[FaultSpec, ...]:
+    """Fault specs for a named scenario."""
+    try:
+        return SCENARIOS[name][1]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {name!r}; known: "
+            f"{scenario_names()}") from None
+
+
+def scenario_description(name: str) -> str:
+    """Human-readable description of a named scenario."""
+    scenario(name)
+    return SCENARIOS[name][0]

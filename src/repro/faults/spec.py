@@ -1,0 +1,118 @@
+"""Composable fault specifications for chaos testing the VIP pipeline.
+
+Deployed assistance systems fail in ways latency benchmarks never see:
+cameras glitch, stages crash or hang, radio links drop, boards throttle
+and batteries sag (Jeon et al., arXiv:2103.01655 measure exactly these
+on in-flight Jetsons).  A :class:`FaultSpec` describes one such fault as
+data — what kind, which stage, how often or over which frame window, and
+how hard — so scenarios compose as tuples of specs and stay trivially
+serialisable and reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+#: Pipeline stages a stage-scoped fault may target.
+STAGES = ("detect", "pose", "depth")
+
+
+class FaultKind(enum.Enum):
+    """Supported fault families."""
+
+    #: Frame arrives corrupted (glare, compression artefacts, EMI).
+    #: ``magnitude`` is the corruption severity in (0, 1].
+    FRAME_CORRUPTION = "frame_corruption"
+    #: Frame lost entirely (camera dropout / occluded lens).
+    SENSOR_DROPOUT = "sensor_dropout"
+    #: Stage raises instead of returning (decode bug, OOM, driver reset).
+    STAGE_CRASH = "stage_crash"
+    #: Stage stalls: its latency is multiplied by ``magnitude`` (>= 1).
+    STAGE_HANG = "stage_hang"
+    #: Radio link to an off-board placement is down.
+    NETWORK_OUTAGE = "network_outage"
+    #: Sustained thermal throttling: all stage latencies × ``magnitude``.
+    THERMAL_THROTTLE = "thermal_throttle"
+    #: Battery sag: latencies ramp linearly from 1× at ``start_frame``
+    #: to ``magnitude``× at ``end_frame`` (DVFS stepping down).
+    BATTERY_SAG = "battery_sag"
+
+
+#: Kinds that fire stochastically per frame (need ``probability`` > 0).
+STOCHASTIC_KINDS = frozenset({
+    FaultKind.FRAME_CORRUPTION, FaultKind.SENSOR_DROPOUT,
+    FaultKind.STAGE_CRASH, FaultKind.STAGE_HANG,
+})
+
+#: Kinds that apply over a sustained frame window.
+WINDOW_KINDS = frozenset({
+    FaultKind.NETWORK_OUTAGE, FaultKind.THERMAL_THROTTLE,
+    FaultKind.BATTERY_SAG,
+})
+
+#: Kinds that must name a target stage.
+STAGE_KINDS = frozenset({FaultKind.STAGE_CRASH, FaultKind.STAGE_HANG})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault, fully described as data.
+
+    ``probability`` gates stochastic kinds per frame; ``start_frame`` /
+    ``end_frame`` bound the active window (``end_frame=None`` = until
+    the end of the run).  ``magnitude`` is kind-specific: corruption
+    severity, hang/throttle/sag latency multiplier.  A stochastic spec
+    may also carry a window, e.g. a dropout *burst*
+    (``probability=1.0, start_frame=40, end_frame=60``).
+    """
+
+    kind: FaultKind
+    stage: Optional[str] = None
+    probability: float = 1.0
+    start_frame: int = 0
+    end_frame: Optional[int] = None
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise ConfigError(f"kind must be a FaultKind, got {self.kind!r}")
+        if self.kind in STAGE_KINDS:
+            if self.stage not in STAGES:
+                raise ConfigError(
+                    f"{self.kind.value} needs stage in {STAGES}, "
+                    f"got {self.stage!r}")
+        elif self.stage is not None:
+            raise ConfigError(
+                f"{self.kind.value} does not take a stage")
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigError(
+                f"probability outside (0, 1]: {self.probability}")
+        if self.start_frame < 0:
+            raise ConfigError("start_frame must be non-negative")
+        if self.end_frame is not None and self.end_frame <= self.start_frame:
+            raise ConfigError("end_frame must exceed start_frame")
+        if self.kind is FaultKind.FRAME_CORRUPTION:
+            if not 0.0 < self.magnitude <= 1.0:
+                raise ConfigError(
+                    f"corruption severity outside (0, 1]: {self.magnitude}")
+        elif self.kind in (FaultKind.STAGE_HANG,
+                           FaultKind.THERMAL_THROTTLE,
+                           FaultKind.BATTERY_SAG):
+            if self.magnitude < 1.0:
+                raise ConfigError(
+                    f"{self.kind.value} magnitude must be >= 1, "
+                    f"got {self.magnitude}")
+    def active(self, frame_index: int, n_frames: int) -> bool:
+        """Is the spec's window open at ``frame_index``?"""
+        end = n_frames if self.end_frame is None else self.end_frame
+        return self.start_frame <= frame_index < end
+
+    @property
+    def label(self) -> str:
+        """Stable label for RNG streams and injection counters."""
+        target = f":{self.stage}" if self.stage else ""
+        return f"{self.kind.value}{target}"

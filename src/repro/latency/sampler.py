@@ -18,8 +18,8 @@ sample vector is reproducible bit for bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -53,6 +53,40 @@ class SamplerConfig:
             raise CalibrationError("spike probability outside [0, 0.5)")
 
 
+@dataclass(frozen=True)
+class LatencyHooks:
+    """Injectable per-frame latency perturbations (chaos testing).
+
+    ``factor(i)`` multiplies frame ``i``'s sample (sustained throttle,
+    battery sag); ``extra_ms(i)`` adds absolute milliseconds (network
+    outage stalls, retransmits).  Indices refer to the *returned*
+    vector, i.e. post-warm-up frames.  The fault injector bridges to
+    this via :meth:`repro.faults.FaultInjector.as_latency_hooks`.
+    """
+
+    factor: Callable[[int], float] = field(
+        default=lambda i: 1.0)
+    extra_ms: Callable[[int], float] = field(
+        default=lambda i: 0.0)
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Apply both hooks to a sampled latency vector."""
+        out = samples.copy()
+        for i in range(len(out)):
+            factor = float(self.factor(i))
+            extra = float(self.extra_ms(i))
+            if factor <= 0:
+                raise CalibrationError(
+                    f"latency hook factor must be positive at frame "
+                    f"{i}, got {factor}")
+            if extra < 0:
+                raise CalibrationError(
+                    f"latency hook extra_ms must be non-negative at "
+                    f"frame {i}, got {extra}")
+            out[i] = out[i] * factor + extra
+        return out
+
+
 class LatencySampler:
     """Draws per-frame latency vectors for a (model, device) pair."""
 
@@ -65,12 +99,15 @@ class LatencySampler:
         self._power = PowerModel()
 
     def sample(self, model: str, device: str, n_frames: int,
-               include_warmup: bool = False) -> np.ndarray:
+               include_warmup: bool = False,
+               hooks: Optional[LatencyHooks] = None) -> np.ndarray:
         """Per-frame latency samples (ms) for ``n_frames``.
 
         With ``include_warmup`` the warm-up transient frames are included
         at the head of the vector (the paper discards warm-up; so do the
-        benchmarks by default).
+        benchmarks by default).  ``hooks`` injects per-frame throttle /
+        outage perturbations on top of the stochastic model; without
+        hooks the vector is bit-identical to earlier releases.
         """
         if n_frames <= 0:
             raise CalibrationError(
@@ -113,4 +150,7 @@ class LatencySampler:
 
         if not include_warmup:
             samples = samples[cfg.warmup_frames:]
-        return samples.astype(np.float64)
+        samples = samples.astype(np.float64)
+        if hooks is not None:
+            samples = hooks.apply(samples)
+        return samples

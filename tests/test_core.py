@@ -184,6 +184,43 @@ class TestAlerts:
         with pytest.raises(ConfigError):
             AlertPolicy(persistence=0)
 
+    def test_cooldown_zero_refires_every_frame(self):
+        policy = AlertPolicy(persistence=1, cooldown=0)
+        fired = [policy.observe(AlertKind.OBSTACLE, True, i, "o")
+                 for i in range(5)]
+        assert all(isinstance(a, Alert) for a in fired)
+
+    def test_streak_resets_after_condition_gap(self):
+        policy = AlertPolicy(persistence=3, cooldown=0)
+        assert policy.observe(AlertKind.FALL, True, 0, "f") is None
+        assert policy.observe(AlertKind.FALL, True, 1, "f") is None
+        # Gap: the streak must restart from zero, not resume at 2.
+        assert policy.observe(AlertKind.FALL, False, 2, "f") is None
+        assert policy.observe(AlertKind.FALL, True, 3, "f") is None
+        assert policy.observe(AlertKind.FALL, True, 4, "f") is None
+        assert policy.observe(AlertKind.FALL, True, 5, "f")
+
+    def test_per_kind_streaks_and_cooldowns_independent(self):
+        policy = AlertPolicy(persistence=2, cooldown=10)
+        # FALL builds a streak; OBSTACLE's own streak starts cold.
+        assert policy.observe(AlertKind.FALL, True, 0, "f") is None
+        assert policy.observe(AlertKind.OBSTACLE, True, 1, "o") is None
+        assert policy.observe(AlertKind.FALL, True, 1, "f")
+        # FALL is now cooling down; OBSTACLE still fires on its own
+        # second consecutive frame.
+        assert policy.observe(AlertKind.OBSTACLE, True, 2, "o")
+        assert policy.observe(AlertKind.FALL, True, 2, "f") is None
+
+    def test_obstacle_distance_clamps_at_map_borders(self):
+        depth = np.full((16, 16), 5.0, dtype=np.float32)
+        # Box hangs off every border: the intersection is still valid.
+        d = obstacle_distance(depth, BBox(-4, -4, 20, 20))
+        assert d == pytest.approx(5.0)
+        # A corner sliver clamps to a single-pixel region.
+        depth[0, 0] = 1.5
+        d = obstacle_distance(depth, BBox(-10, -10, 0, 0))
+        assert d == pytest.approx(1.5)
+
 
 class TestPipeline:
     def test_fast_device_realtime(self, clean_frames):
@@ -208,6 +245,29 @@ class TestPipeline:
     def test_empty_frames_rejected(self):
         with pytest.raises(BenchmarkError):
             VipPipeline().run([])
+
+    def test_summary_total_on_empty_report(self):
+        from repro.core.pipeline import PipelineReport
+        summary = PipelineReport().summary()
+        assert summary["offered"] == 0
+        assert summary["drop_rate"] == 0.0
+        assert summary["detection_rate"] == 1.0
+        assert summary["mean_latency_ms"] != summary["mean_latency_ms"]
+        assert summary["availability"] != summary["availability"]
+
+    def test_zero_distance_obstacle_message_not_blank(self, monkeypatch,
+                                                      clean_frames):
+        # An obstacle at exactly 0.0 m must not silence the message
+        # (the old `if nearest` truthiness bug).
+        pipe = VipPipeline(PipelineConfig(detector_model="yolov8-n",
+                                          device="rtx4090"), seed=7)
+        monkeypatch.setattr(pipe, "_nearest_from_depth",
+                            lambda frame: 0.0)
+        report = pipe.run(clean_frames[:30])
+        obstacle = [a for a in report.alerts
+                    if a.kind is AlertKind.OBSTACLE]
+        assert obstacle
+        assert all(a.message == "Obstacle at 0.0 m" for a in obstacle)
 
     def test_custom_perceptor(self, clean_frames):
         calls = []
