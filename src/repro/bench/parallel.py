@@ -19,6 +19,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from ..errors import BenchmarkError
+from ..obs import TraceContext, Tracer, current_tracer, use_tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -33,6 +34,41 @@ def default_workers() -> int:
     return max(1, min(cpus - 1, 8))
 
 
+class _TracedTask:
+    """Picklable wrapper: runs one item under a worker-local tracer.
+
+    Carries the parent's :class:`TraceContext` across the process
+    boundary; the worker's spans parent under it and come back with the
+    result for :meth:`Tracer.adopt`.  The ``w{index}-`` id prefix keeps
+    span ids minted in different workers collision-free.
+    """
+
+    def __init__(self, fn: Callable, context: Optional[TraceContext],
+                 index: int) -> None:
+        self.fn = fn
+        self.context = context
+        self.index = index
+
+    def __call__(self, item):
+        tracer = Tracer(context=self.context,
+                        id_prefix=f"w{self.index}-")
+        with use_tracer(tracer), \
+                tracer.span("map_item", index=self.index):
+            value = self.fn(item)
+        return value, tracer.finished_spans()
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T],
+                tracer: Tracer) -> List[R]:
+    if not tracer.enabled:
+        return [fn(item) for item in items]
+    out: List[R] = []
+    for i, item in enumerate(items):
+        with tracer.span("map_item", index=i):
+            out.append(fn(item))
+    return out
+
+
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
                  workers: Optional[int] = None,
                  force_serial: bool = False) -> List[R]:
@@ -42,6 +78,10 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     worker exception propagates (wrapped in :class:`BenchmarkError` with
     the failing item's index) — partial silent results are never
     returned.
+
+    When the ambient tracer is enabled, each item runs inside a
+    ``map_item`` span; spans recorded in worker processes are adopted
+    back into the parent trace under the caller's active span.
     """
     items = list(items)
     if not items:
@@ -49,23 +89,37 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     n_workers = workers if workers is not None else default_workers()
     if n_workers < 1:
         raise BenchmarkError(f"workers must be >= 1, got {n_workers}")
+    tracer = current_tracer()
     if force_serial or n_workers == 1 or len(items) < MIN_PARALLEL_ITEMS:
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, tracer)
+    traced = tracer.enabled
+    context = tracer.current_context() if traced else None
     try:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
+            if traced:
+                futures = [pool.submit(_TracedTask(fn, context, i),
+                                       item)
+                           for i, item in enumerate(items)]
+            else:
+                futures = [pool.submit(fn, item) for item in items]
             out: List[R] = []
             for i, fut in enumerate(futures):
                 try:
-                    out.append(fut.result())
+                    result = fut.result()
                 except Exception as exc:  # noqa: BLE001 — re-raise typed
                     raise BenchmarkError(
                         f"parallel_map item {i} failed: {exc}") from exc
+                if traced:
+                    value, spans = result
+                    tracer.adopt(spans)
+                    out.append(value)
+                else:
+                    out.append(result)
             return out
     except (OSError, ImportError):
         # Constrained environment (no /dev/shm, sandboxed fork): degrade
         # gracefully to serial execution with identical results.
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, tracer)
 
 
 def chunked(seq: Sequence[T], n_chunks: int) -> List[List[T]]:

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import BenchmarkError
 from ..io.report import markdown_table
+from ..obs import Tracer, current_tracer, use_tracer
 
 
 @dataclass
@@ -29,6 +30,10 @@ class ExperimentResult:
     paper_reference: Dict[str, float] = field(default_factory=dict)
     measured: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: Metrics snapshot from the run's tracer (empty when tracing off).
+    #: Deliberately excluded from :meth:`to_markdown` so rendered
+    #: reports stay byte-identical run to run (the golden contract).
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def all_claims_hold(self) -> bool:
@@ -70,12 +75,21 @@ ExperimentFn = Callable[..., ExperimentResult]
 
 
 class ExperimentRunner:
-    """Runs experiments by id with timing and claim enforcement."""
+    """Runs experiments by id with timing and claim enforcement.
 
-    def __init__(self, experiments: Dict[str, ExperimentFn]) -> None:
+    Every run executes inside a root span on the runner's tracer (the
+    ambient one unless ``tracer`` is given), so instrumented code deeper
+    in the stack — the VIP pipeline, the stage guard, the parallel
+    fan-out — lands under one tree per experiment.  The tracer's
+    metrics snapshot is attached to the returned result.
+    """
+
+    def __init__(self, experiments: Dict[str, ExperimentFn],
+                 tracer: Optional[Tracer] = None) -> None:
         if not experiments:
             raise BenchmarkError("no experiments registered")
         self.experiments = dict(experiments)
+        self._tracer = tracer
 
     def run(self, experiment_id: str, *, enforce_claims: bool = True,
             **kwargs) -> ExperimentResult:
@@ -85,9 +99,17 @@ class ExperimentRunner:
             raise BenchmarkError(
                 f"unknown experiment {experiment_id!r}; known: "
                 f"{sorted(self.experiments)}") from None
-        start = time.perf_counter()
-        result = fn(**kwargs)
-        result.elapsed_s = time.perf_counter() - start
+        tracer = self._tracer if self._tracer is not None \
+            else current_tracer()
+        with use_tracer(tracer), \
+                tracer.span(f"experiment:{experiment_id}",
+                            experiment=experiment_id) as root:
+            start = time.perf_counter()
+            result = fn(**kwargs)
+            result.elapsed_s = time.perf_counter() - start
+            root.set_attr("elapsed_s", result.elapsed_s)
+            root.set_attr("claims_hold", result.all_claims_hold)
+        result.metrics = tracer.metrics.snapshot()
         if enforce_claims:
             result.require_claims()
         return result

@@ -5,6 +5,9 @@ Commands:
 * ``list`` — registered experiments (tables, figures, ablations);
 * ``run <experiment-id> [...]`` — run experiments and print their
   markdown reports (claims are enforced unless ``--no-enforce``);
+* ``trace <experiment-id>`` — run one experiment under the span
+  tracer; print the aggregated span tree (inclusive/exclusive wall
+  times) and write a Chrome ``trace_event`` JSON file;
 * ``report`` — run every fast experiment and print the consolidated
   paper-vs-measured report (what EXPERIMENTS.md is generated from);
 * ``latency <model> <device>`` — one latency estimate with its
@@ -15,6 +18,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -34,17 +38,67 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .bench.experiments.registry import run_experiment
+    from .bench.experiments.registry import EXPERIMENTS, run_experiment
+    from .errors import BenchmarkError
+    unknown = [eid for eid in args.experiments
+               if eid not in EXPERIMENTS]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown experiment(s): {unknown}; see `repro list`")
     failed = False
     for eid in args.experiments:
-        result = run_experiment(eid, enforce_claims=False)
+        try:
+            result = run_experiment(eid, enforce_claims=args.enforce)
+        except BenchmarkError as exc:
+            # Claim enforcement (or the experiment itself) failed; keep
+            # going so one bad experiment doesn't hide the others.
+            print(f"FAILED: {exc}", file=sys.stderr)
+            failed = True
+            continue
         print(result.to_markdown())
         print()
-        if args.enforce and not result.all_claims_hold:
+        if not result.all_claims_hold:
             print(f"FAILED CLAIMS in {eid}: "
                   f"{result.failed_claims()}", file=sys.stderr)
-            failed = True
     return 1 if failed else 0
+
+
+def _cmd_trace(args) -> int:
+    from .bench.experiments.registry import run_experiment
+    from .obs import (Tracer, aggregate_tree, exclusive_total_s,
+                      render_tree, use_tracer, write_chrome_trace,
+                      write_spans_jsonl)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = run_experiment(args.experiment,
+                                enforce_claims=args.enforce)
+    spans = tracer.finished_spans()
+    print(render_tree(spans))
+
+    roots = aggregate_tree(spans)
+    incl = sum(r.inclusive_s for r in roots)
+    excl = sum(exclusive_total_s(r) for r in roots)
+    closure = 100.0 * excl / incl if incl > 0 else float("nan")
+    print(f"\nroot inclusive: {incl * 1e3:.2f} ms; "
+          f"exclusive sum: {excl * 1e3:.2f} ms "
+          f"({closure:.2f}% closure)")
+
+    if result.metrics:
+        print("\nMetrics:")
+        for name, snap in result.metrics.items():
+            if snap.get("type") == "histogram":
+                print(f"  {name}: n={snap['count']} "
+                      f"mean={snap['mean']:.3f} p50={snap['p50']:.3f} "
+                      f"p95={snap['p95']:.3f} p99={snap['p99']:.3f}")
+            else:
+                print(f"  {name}: {snap.get('value')}")
+
+    out = args.out if args.out else os.path.join(
+        "traces", f"{args.experiment}_trace.json")
+    print(f"\nchrome trace: {write_chrome_trace(out, spans)}")
+    if args.jsonl:
+        print(f"span jsonl  : {write_spans_jsonl(args.jsonl, spans)}")
+    return 0
 
 
 def _cmd_report(_args) -> int:
@@ -96,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_false", default=True,
                        help="do not fail on violated paper claims")
 
+    trace_p = sub.add_parser(
+        "trace", help="run one experiment under the span tracer")
+    trace_p.add_argument("experiment",
+                         help="experiment id (see `repro list`)")
+    trace_p.add_argument("--out", default=None,
+                         help="Chrome trace output path "
+                              "(default traces/<id>_trace.json)")
+    trace_p.add_argument("--jsonl", default=None,
+                         help="also write spans as JSON-lines here")
+    trace_p.add_argument("--no-enforce", dest="enforce",
+                         action="store_false", default=True,
+                         help="do not fail on violated paper claims")
+
     sub.add_parser("report",
                    help="run all fast experiments, print the report")
 
@@ -111,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "report": _cmd_report,
     "latency": _cmd_latency,
     "dataset": _cmd_dataset,

@@ -38,6 +38,7 @@ from ..faults.injector import (DROPOUT_TAG, FaultInjector,
                                corruption_severity_from_tags)
 from ..geometry.bbox import BBox
 from ..latency.sampler import LatencySampler
+from ..obs import Tracer, current_tracer
 from ..rng import coerce_rng
 from ..train.surrogate import AccuracySurrogate, SurrogateQuery
 from ..units import fps_to_period_ms
@@ -235,8 +236,13 @@ class VipPipeline:
                  perceptor: Optional[Perceptor] = None,
                  seed: int = 7,
                  injector: Optional[FaultInjector] = None,
-                 resilience: Optional[ResilienceConfig] = None) -> None:
+                 resilience: Optional[ResilienceConfig] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config
+        #: None means "resolve the ambient tracer at run() time", so a
+        #: pipeline built outside ``use_tracer(...)`` still traces when
+        #: run inside it.  The default ambient tracer is the no-op.
+        self._tracer = tracer
         self.seed = seed
         self.perceptor = perceptor if perceptor is not None \
             else _OraclePerceptor(config.detector_model, seed)
@@ -296,10 +302,30 @@ class VipPipeline:
 
     # -- the loop ------------------------------------------------------------
 
+    def _note_fallback(self, report: PipelineReport, tracer: Tracer,
+                       kind: str) -> None:
+        """Count a fallback activation and attach it to the trace."""
+        report._bump(report.fallback_activations, kind)
+        tracer.event("fallback", kind=kind)
+        tracer.metrics.counter("pipeline.fallbacks").inc()
+
     def run(self, frames: Sequence) -> PipelineReport:
         """Process rendered frames arriving at the configured rate."""
         if not frames:
             raise BenchmarkError("no frames for pipeline run")
+        tracer = self._tracer if self._tracer is not None \
+            else current_tracer()
+        cfg = self.config
+        with tracer.span("pipeline.run", model=cfg.detector_model,
+                         device=cfg.device,
+                         n_frames=len(frames)) as root:
+            report = self._run_loop(frames, tracer)
+            root.set_attr("frames_processed", report.frames_processed)
+            root.set_attr("frames_dropped", report.frames_dropped)
+        return report
+
+    def _run_loop(self, frames: Sequence,
+                  tracer: Tracer) -> PipelineReport:
         cfg = self.config
         res = self.resilience
         period = fps_to_period_ms(cfg.frame_rate)
@@ -308,66 +334,127 @@ class VipPipeline:
             inj.prepare(len(frames))
         lat = self._stage_latencies(len(frames))
         executor = StageExecutor(res, inj, period,
-                                 offboard=cfg.offboard)
+                                 offboard=cfg.offboard, tracer=tracer)
         health = HealthMonitor(res.health)
         report = PipelineReport()
         busy_until = 0.0
         prev_track_id: Optional[int] = None
         processed_i = 0
         shed_until = -1
+        metrics = tracer.metrics
+        frame_latency_hist = metrics.histogram(
+            "pipeline.frame_latency_ms")
+        dropped_counter = metrics.counter("pipeline.frames_dropped")
+        processed_counter = metrics.counter("pipeline.frames_processed")
+        alert_counter = metrics.counter("pipeline.alerts")
 
         for i, frame in enumerate(frames):
             arrival = i * period
             report.frames_offered += 1
             if arrival < busy_until:
                 report.frames_dropped += 1
+                dropped_counter.inc()
                 health.idle_tick()       # no fresh guidance this frame
                 continue
 
-            seen = inj.apply_to_frame(frame, i) if inj is not None \
-                else frame
-            sensor_out = DROPOUT_TAG in seen.applied_corruptions
-            degraded = False
-            critical = False
             shedding = res.enabled and res.load_shedding \
                 and i <= shed_until
+            if tracer.enabled:
+                with tracer.span("frame", index=i) as frame_span:
+                    total_ms, prev_track_id = self._process_frame(
+                        frame, i, processed_i, lat, executor, health,
+                        report, tracer, prev_track_id, shedding)
+                    frame_span.set_attr("latency_ms", total_ms)
+            else:
+                total_ms, prev_track_id = self._process_frame(
+                    frame, i, processed_i, lat, executor, health,
+                    report, tracer, prev_track_id, shedding)
+            frame_latency_hist.observe(total_ms)
+            processed_counter.inc()
+            busy_until = arrival + total_ms
+            processed_i += 1
+            if res.enabled and res.load_shedding \
+                    and total_ms > res.shed_enter_factor * period:
+                shed_until = i + res.shed_dwell_frames
+                tracer.event("load_shed_enter", frame=i,
+                             until=shed_until)
 
-            # -- detect stage (guarded) --------------------------------
-            detect_cost = float(lat["detect"][processed_i])
-            if cfg.offboard:
-                detect_cost += cfg.network_rtt_ms
+        alert_counter.inc(len(report.alerts))
+        report.frames_by_state = dict(health.frames_in_state)
+        report.recovery_frames = list(health.recovery_frames)
+        if inj is not None:
+            report.injected_faults = dict(inj.injected)
+        return report
+
+    def _process_frame(self, frame, i: int, processed_i: int,
+                       lat: dict, executor: StageExecutor,
+                       health: HealthMonitor, report: PipelineReport,
+                       tracer: Tracer, prev_track_id: Optional[int],
+                       shedding: bool):
+        """One processed frame: detect → track → pose → depth → alert.
+
+        Returns ``(total_ms, prev_track_id)``; every stage runs inside
+        its own span, so guard events (retries, watchdog kills) attach
+        to the stage that suffered them.
+        """
+        cfg = self.config
+        res = self.resilience
+        inj = self.injector
+        # The disabled-tracer path skips span creation entirely at each
+        # stage site: the null objects are cheap but not free, and the
+        # latency benches hold this loop to < 2% instrumentation cost.
+        traced = tracer.enabled
+        seen = inj.apply_to_frame(frame, i) if inj is not None \
+            else frame
+        sensor_out = DROPOUT_TAG in seen.applied_corruptions
+        degraded = False
+        critical = False
+
+        # -- detect stage (guarded) --------------------------------
+        detect_cost = float(lat["detect"][processed_i])
+        if cfg.offboard:
+            detect_cost += cfg.network_rtt_ms
+        if traced:
+            with tracer.span("detect", frame=i) as sp:
+                out = executor.run("detect", i, detect_cost,
+                                   lambda: list(self.perceptor(seen)))
+                sp.set_attr("status", out.status.value)
+                sp.set_attr("cost_ms", out.cost_ms)
+        else:
             out = executor.run("detect", i, detect_cost,
                                lambda: list(self.perceptor(seen)))
-            total_ms = out.cost_ms
-            report.retries += out.attempts - 1
+        total_ms = out.cost_ms
+        report.retries += out.attempts - 1
 
-            has_truth = bool(frame.vest_boxes)
-            if out.status.failed:
-                report._bump(report.stage_failures, "detect")
-                boxes: Optional[List[BBox]] = None
-            else:
-                boxes = out.value
-                if boxes and has_truth:
-                    report.detections += 1
-                elif has_truth:
-                    report.missed_detections += 1
+        has_truth = bool(frame.vest_boxes)
+        if out.status.failed:
+            report._bump(report.stage_failures, "detect")
+            boxes: Optional[List[BBox]] = None
+        else:
+            boxes = out.value
+            if boxes and has_truth:
+                report.detections += 1
+            elif has_truth:
+                report.missed_detections += 1
 
-            # Track update; a failed detect stage coasts the tracker
-            # through the gap (Kalman predicts, IoU merely ages).
+        # Track update; a failed detect stage coasts the tracker
+        # through the gap (Kalman predicts, IoU merely ages).
+        def track_stage():
+            nonlocal degraded, critical, prev_track_id
             self.tracker.update(boxes if boxes is not None else [])
             primary = self.tracker.primary_track()
             if boxes is None:
                 degraded = True
                 critical = primary is None
                 if res.fallbacks:
-                    report._bump(report.fallback_activations,
-                                 "detect:kalman_coast")
+                    self._note_fallback(report, tracer,
+                                        "detect:kalman_coast")
             if sensor_out:
                 degraded = True
                 critical = critical or primary is None
                 if res.fallbacks:
-                    report._bump(report.fallback_activations,
-                                 "sensor:kalman_coast")
+                    self._note_fallback(report, tracer,
+                                        "sensor:kalman_coast")
 
             if primary is not None and prev_track_id is not None \
                     and primary.track_id != prev_track_id:
@@ -383,83 +470,108 @@ class VipPipeline:
             if alert:
                 report.alerts.append(alert)
 
-            # -- pose stage: fall detection (guarded) ------------------
-            pose_due = cfg.run_pose and \
-                processed_i % cfg.pose_every == \
-                cfg.pose_phase % cfg.pose_every
-            if pose_due and shedding:
-                report._bump(report.fallback_activations,
-                             "load_shed:pose")
-                degraded = True
-            elif pose_due:
-                def pose_fn():
-                    # A blanked frame yields a silent "no fall" — the
-                    # dangerous failure mode DEGRADED alerts surface.
-                    if sensor_out:
-                        return False
-                    return bool(frame.spec.is_fall())
+        if traced:
+            with tracer.span("track", frame=i):
+                track_stage()
+        else:
+            track_stage()
 
+        # -- pose stage: fall detection (guarded) ------------------
+        pose_due = cfg.run_pose and \
+            processed_i % cfg.pose_every == \
+            cfg.pose_phase % cfg.pose_every
+        if pose_due and shedding:
+            self._note_fallback(report, tracer, "load_shed:pose")
+            degraded = True
+        elif pose_due:
+            def pose_fn():
+                # A blanked frame yields a silent "no fall" — the
+                # dangerous failure mode DEGRADED alerts surface.
+                if sensor_out:
+                    return False
+                return bool(frame.spec.is_fall())
+
+            if traced:
+                with tracer.span("pose", frame=i) as sp:
+                    out = executor.run(
+                        "pose", i, float(lat["pose"][processed_i]),
+                        pose_fn)
+                    sp.set_attr("status", out.status.value)
+                    sp.set_attr("cost_ms", out.cost_ms)
+            else:
                 out = executor.run("pose", i,
                                    float(lat["pose"][processed_i]),
                                    pose_fn)
-                total_ms += out.cost_ms
-                report.retries += out.attempts - 1
-                if out.status.failed:
-                    report._bump(report.stage_failures, "pose")
-                    degraded = True
-                    if res.fallbacks:
-                        report._bump(report.fallback_activations,
-                                     "pose:skip_fall_check")
-                else:
-                    alert = self.alert_policy.observe(
-                        AlertKind.FALL, bool(out.value), i,
-                        "Fall detected!")
-                    if alert:
-                        report.alerts.append(alert)
-
-            # -- depth stage: obstacle ranging (guarded) ---------------
-            depth_due = cfg.run_depth and \
-                processed_i % cfg.depth_every == \
-                cfg.depth_phase % cfg.depth_every
-            if depth_due and shedding:
-                report._bump(report.fallback_activations,
-                             "load_shed:depth")
+            total_ms += out.cost_ms
+            report.retries += out.attempts - 1
+            if out.status.failed:
+                report._bump(report.stage_failures, "pose")
                 degraded = True
-            elif depth_due:
+                if res.fallbacks:
+                    self._note_fallback(report, tracer,
+                                        "pose:skip_fall_check")
+            else:
+                alert = self.alert_policy.observe(
+                    AlertKind.FALL, bool(out.value), i,
+                    "Fall detected!")
+                if alert:
+                    report.alerts.append(alert)
+
+        # -- depth stage: obstacle ranging (guarded) ---------------
+        depth_due = cfg.run_depth and \
+            processed_i % cfg.depth_every == \
+            cfg.depth_phase % cfg.depth_every
+        if depth_due and shedding:
+            self._note_fallback(report, tracer, "load_shed:depth")
+            degraded = True
+        elif depth_due:
+            if traced:
+                with tracer.span("depth", frame=i) as sp:
+                    out = executor.run(
+                        "depth", i, float(lat["depth"][processed_i]),
+                        lambda: self._nearest_from_depth(seen))
+                    sp.set_attr("status", out.status.value)
+                    sp.set_attr("cost_ms", out.cost_ms)
+            else:
                 out = executor.run(
                     "depth", i, float(lat["depth"][processed_i]),
                     lambda: self._nearest_from_depth(seen))
-                total_ms += out.cost_ms
-                report.retries += out.attempts - 1
-                nearest: Optional[float] = None
-                have_range = False
-                if out.status.failed:
-                    report._bump(report.stage_failures, "depth")
-                    degraded = True
-                    if res.fallbacks:
-                        nearest = self._nearest_from_boxes(seen)
-                        have_range = True
-                        report._bump(report.fallback_activations,
-                                     "depth:bbox_range")
-                else:
-                    nearest = out.value
+            total_ms += out.cost_ms
+            report.retries += out.attempts - 1
+            nearest: Optional[float] = None
+            have_range = False
+            if out.status.failed:
+                report._bump(report.stage_failures, "depth")
+                degraded = True
+                if res.fallbacks:
+                    nearest = self._nearest_from_boxes(seen)
                     have_range = True
-                if have_range:
-                    near = (nearest is not None
-                            and nearest < self.alert_policy.
-                            obstacle_distance_m)
-                    alert = self.alert_policy.observe(
-                        AlertKind.OBSTACLE, near, i,
-                        f"Obstacle at {nearest:.1f} m"
-                        if nearest is not None else "",
-                        distance_m=nearest)
-                    if alert:
-                        report.alerts.append(alert)
+                    self._note_fallback(report, tracer,
+                                        "depth:bbox_range")
+            else:
+                nearest = out.value
+                have_range = True
+            if have_range:
+                near = (nearest is not None
+                        and nearest < self.alert_policy.
+                        obstacle_distance_m)
+                alert = self.alert_policy.observe(
+                    AlertKind.OBSTACLE, near, i,
+                    f"Obstacle at {nearest:.1f} m"
+                    if nearest is not None else "",
+                    distance_m=nearest)
+                if alert:
+                    report.alerts.append(alert)
 
-            # -- health, availability, load shedding -------------------
+        # -- health, availability, alerting ------------------------
+        def alert_stage():
             record = health.observe(i, degraded, critical)
             if record is not None:
                 report.health_transitions.append(record)
+                tracer.event("health_transition",
+                             frame=i, src=record["from"],
+                             dst=record["to"],
+                             reason=record["reason"])
                 if res.enabled:
                     if record["to"] == HealthState.SAFE_STOP.value:
                         report.alerts.append(Alert(
@@ -475,16 +587,12 @@ class VipPipeline:
                     and not critical:
                 report.available_frames += 1
 
-            report.per_frame_latency_ms.append(total_ms)
-            report.frames_processed += 1
-            busy_until = arrival + total_ms
-            processed_i += 1
-            if res.enabled and res.load_shedding \
-                    and total_ms > res.shed_enter_factor * period:
-                shed_until = i + res.shed_dwell_frames
+        if traced:
+            with tracer.span("alert", frame=i):
+                alert_stage()
+        else:
+            alert_stage()
 
-        report.frames_by_state = dict(health.frames_in_state)
-        report.recovery_frames = list(health.recovery_frames)
-        if inj is not None:
-            report.injected_faults = dict(inj.injected)
-        return report
+        report.per_frame_latency_ms.append(total_ms)
+        report.frames_processed += 1
+        return total_ms, prev_track_id

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
 from ..errors import ConfigError, FaultError
+from ..obs import Tracer, current_tracer
 from .health import HealthConfig
 from .injector import FaultInjector
 from .spec import STAGES
@@ -130,13 +131,17 @@ class StageExecutor:
 
     def __init__(self, resilience: ResilienceConfig,
                  injector: Optional[FaultInjector],
-                 period_ms: float, offboard: bool = False) -> None:
+                 period_ms: float, offboard: bool = False,
+                 tracer: Optional[Tracer] = None) -> None:
         if period_ms <= 0:
             raise ConfigError("period must be positive")
         self.resilience = resilience
         self.injector = injector
         self.period_ms = period_ms
         self.offboard = offboard
+        #: Retry / watchdog / link events land on whatever span the
+        #: caller has open (the pipeline's per-stage span).
+        self.tracer = tracer if tracer is not None else current_tracer()
         #: Adaptive per-stage latency baseline (EWMA of observed costs).
         self._baseline: dict = {}
 
@@ -172,8 +177,11 @@ class StageExecutor:
             return self._run_unguarded(stage, frame_index, attempt_cost,
                                        fn, link_down)
 
+        tracer = self.tracer
         if link_down:
             # The request stalls until the client deadline fires.
+            tracer.event("link_down", stage=stage, frame=frame_index)
+            tracer.metrics.counter("guard.link_down").inc()
             return StageOutcome(
                 stage, StageStatus.LINK_DOWN,
                 cost_ms=res.link_timeout_periods * self.period_ms)
@@ -185,6 +193,10 @@ class StageExecutor:
             attempts += 1
             if res.watchdog and attempt_cost > timeout:
                 # A hang persists within the frame: abort, don't retry.
+                tracer.event("watchdog_timeout", stage=stage,
+                             frame=frame_index, timeout_ms=timeout,
+                             cost_ms=attempt_cost)
+                tracer.metrics.counter("guard.timeouts").inc()
                 return StageOutcome(stage, StageStatus.TIMED_OUT,
                                     cost_ms=cost + timeout,
                                     attempts=attempts)
@@ -201,11 +213,17 @@ class StageExecutor:
                     crashed = True
             if crashed:
                 cost += attempt_cost * res.retry_cost_factor
+                tracer.event("stage_retry", stage=stage,
+                             frame=frame_index, attempt=attempt + 1)
+                tracer.metrics.counter("guard.retries").inc()
                 continue
             self._observe(stage, attempt_cost)
             return StageOutcome(stage, StageStatus.OK, value=value,
                                 cost_ms=cost + attempt_cost,
                                 attempts=attempts)
+        tracer.event("stage_crashed", stage=stage, frame=frame_index,
+                     attempts=attempts)
+        tracer.metrics.counter("guard.crashes").inc()
         return StageOutcome(stage, StageStatus.CRASHED, cost_ms=cost,
                             attempts=attempts)
 

@@ -1,0 +1,85 @@
+"""JSON / JSON-lines file emitters.
+
+Shared by the observability exporters and any tool that persists
+harness output.  Non-finite floats are encoded as strings (``"NaN"``,
+``"Infinity"``, ``"-Infinity"``) so every emitted file is strict JSON —
+Chrome's trace viewer and ``json.loads(..., parse_constant=...)``
+consumers both reject bare ``NaN`` tokens.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Iterable, List
+
+from ..errors import SerializationError
+
+
+def jsonable(obj):
+    """Recursively convert to strict-JSON-safe primitives."""
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if math.isinf(obj):
+            return "Infinity" if obj > 0 else "-Infinity"
+        return obj
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    # numpy scalars and anything else with .item()
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return jsonable(item())
+    raise SerializationError(
+        f"cannot encode {type(obj).__name__} as JSON")
+
+
+def dumps_json(obj, indent: int = 2) -> str:
+    """Strict-JSON string (sorted keys — byte-stable for goldens)."""
+    return json.dumps(jsonable(obj), indent=indent, sort_keys=True,
+                      allow_nan=False)
+
+
+def dump_json(path: str, obj, indent: int = 2) -> str:
+    """Write ``obj`` as strict JSON; returns the path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_json(obj, indent=indent))
+        fh.write("\n")
+    return path
+
+
+def dump_jsonl(path: str, rows: Iterable) -> str:
+    """Write one strict-JSON object per line; returns the path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(jsonable(row), sort_keys=True,
+                                allow_nan=False))
+            fh.write("\n")
+    return path
+
+
+def load_jsonl(path: str) -> List:
+    """Read a JSON-lines file back into a list of objects."""
+    if not os.path.exists(path):
+        raise SerializationError(f"no JSON-lines file at {path}")
+    out: List = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"{path}:{i + 1}: bad JSON line: {exc}") from exc
+    return out

@@ -1,0 +1,33 @@
+"""Observability layer: span tracing, metrics, exporters.
+
+The harness-wide contract:
+
+* instrumented components resolve :func:`current_tracer` at run time
+  and default to :data:`NULL_TRACER` — tracing is opt-in and free when
+  off;
+* ``with use_tracer(Tracer()) as t:`` turns every span/metric emitted
+  underneath into data on ``t``;
+* finished traces export as JSON-lines or Chrome ``trace_event`` files
+  and print as an aggregated span tree (``python -m repro trace``).
+"""
+
+from .metrics import (DEFAULT_BUCKETS_MS, Counter, Gauge, Histogram,
+                      MetricsRegistry, NULL_METRICS,
+                      NullMetricsRegistry)
+from .tracer import (NULL_SPAN, NULL_TRACER, NullTracer, Span,
+                     SpanEvent, TraceContext, Tracer, current_tracer,
+                     default_clock, record_event, use_tracer)
+from .export import (aggregate_tree, chrome_trace, exclusive_total_s,
+                     render_tree, spans_to_jsonl_rows,
+                     write_chrome_trace, write_spans_jsonl)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NullMetricsRegistry", "NULL_METRICS", "DEFAULT_BUCKETS_MS",
+    "Span", "SpanEvent", "TraceContext", "Tracer", "NullTracer",
+    "NULL_SPAN", "NULL_TRACER", "current_tracer", "use_tracer",
+    "record_event", "default_clock",
+    "aggregate_tree", "chrome_trace", "exclusive_total_s",
+    "render_tree", "spans_to_jsonl_rows", "write_chrome_trace",
+    "write_spans_jsonl",
+]

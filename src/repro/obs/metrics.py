@@ -1,0 +1,228 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` hands out named instruments and snapshots
+them into one plain dict (sorted keys, JSON-able) that the experiment
+runner attaches to :class:`~repro.bench.runner.ExperimentResult`.
+Histograms use fixed bucket bounds — observation cost is one
+``searchsorted`` — and estimate p50/p95/p99 by linear interpolation
+inside the covering bucket, the standard Prometheus-style compromise
+between memory and quantile fidelity.  Exact min/max/sum/count are kept
+alongside so the interpolation error is visible.
+
+The :data:`NULL_METRICS` registry backs the disabled tracer: the same
+API, every write discarded, no allocation per call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Default histogram bounds (ms-scale latencies: 0.1 ms … 10 s).
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile summaries."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS_MS) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ConfigError(f"histogram {name!r} needs >= 1 bucket")
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ConfigError(
+                f"histogram {name!r} bounds must strictly increase")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ConfigError(
+                f"histogram {name!r} bounds must be finite")
+        self.name = name
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        # counts[i] observations <= bounds[i]; counts[-1] is +inf overflow.
+        self.counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            return  # NaNs carry no latency information; skip, not poison
+        self.counts[int(np.searchsorted(self.bounds, v))] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile estimate (NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cum = 0
+        lo = 0.0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                lo = float(self.bounds[i]) if i < len(self.bounds) else lo
+                continue
+            if cum + c >= target:
+                hi = float(self.bounds[i]) if i < len(self.bounds) \
+                    else self.max
+                frac = (target - cum) / c
+                est = lo + frac * (hi - lo)
+                # Exact extrema beat interpolation at the tails.
+                return float(min(max(est, self.min), self.max))
+            cum += c
+            lo = float(self.bounds[i]) if i < len(self.bounds) else lo
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "p50": self.quantile(0.50) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store; one instrument per name, type-stable."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, factory):
+        if not name:
+            raise ConfigError("metric name must be non-empty")
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS_MS
+                  ) -> Histogram:
+        return self._get(name, Histogram,
+                         lambda: Histogram(name, buckets))
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All instruments as one JSON-able dict (sorted, stable)."""
+        return {name: self._instruments[name].snapshot()
+                for name in self.names()}
+
+
+class _NullInstrument:
+    """Write-discarding stand-in for every instrument type."""
+
+    __slots__ = ()
+    name = ""
+    value = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Disabled registry: hands out one shared no-op instrument."""
+
+    def counter(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS_MS):
+        # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+#: Registry behind :data:`repro.obs.tracer.NULL_TRACER`.
+NULL_METRICS = NullMetricsRegistry()

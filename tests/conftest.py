@@ -17,6 +17,13 @@ from repro.models.yolo.train import DetectorTrainer, frames_to_arrays
 SEED = 7
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from this run's outputs "
+             "(the golden-regression tests then pass trivially)")
+
+
 @pytest.fixture(scope="session")
 def builder() -> DatasetBuilder:
     return DatasetBuilder(seed=SEED, image_size=64)

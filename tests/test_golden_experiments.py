@@ -1,0 +1,106 @@
+"""Golden-regression and determinism harness for every fast experiment.
+
+Each ``FAST_EXPERIMENTS`` entry runs once with its pinned seed/kwargs
+and is diffed field-by-field against ``tests/golden/<id>.json``; a
+second in-process run must render a byte-identical markdown report.
+Regenerate goldens after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_experiments.py \
+        --update-golden
+    # or: PYTHONPATH=src python tools/update_goldens.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.experiments.registry import (FAST_EXPERIMENTS,
+                                              run_experiment)
+from repro.bench.golden import (GOLDEN_KWARGS, compare_to_golden,
+                                golden_path, write_golden)
+from repro.core.pipeline import PipelineConfig, VipPipeline
+from repro.faults import FaultInjector, scenario
+from repro.io.jsonio import jsonable
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+FAST_IDS = sorted(FAST_EXPERIMENTS)
+
+
+def _run(eid):
+    return run_experiment(eid, enforce_claims=False,
+                          **GOLDEN_KWARGS.get(eid, {}))
+
+
+@pytest.fixture(scope="module")
+def first_runs():
+    """Cache of each experiment's first run, shared by the golden and
+    determinism tests so the suite pays for two runs total, not three."""
+    return {}
+
+
+def _first_run(first_runs, eid):
+    if eid not in first_runs:
+        first_runs[eid] = _run(eid)
+    return first_runs[eid]
+
+
+@pytest.mark.parametrize("eid", FAST_IDS)
+def test_matches_golden(eid, first_runs, request):
+    result = _first_run(first_runs, eid)
+    path = golden_path(eid, GOLDEN_DIR)
+    if request.config.getoption("--update-golden"):
+        write_golden(result, GOLDEN_DIR)
+        return
+    assert os.path.exists(path), (
+        f"no golden for {eid!r}; regenerate with --update-golden")
+    with open(path, "r", encoding="utf-8") as fh:
+        golden = json.load(fh)
+    mismatches = compare_to_golden(golden, result)
+    assert not mismatches, (
+        f"{eid} drifted from golden ({len(mismatches)} fields):\n"
+        + "\n".join(mismatches[:40]))
+
+
+@pytest.mark.parametrize("eid", FAST_IDS)
+def test_rerun_is_byte_identical(eid, first_runs):
+    """Same seed, same process → byte-identical rendered report."""
+    first = _first_run(first_runs, eid)
+    second = _run(eid)
+    assert first.to_markdown(digits=8) == second.to_markdown(digits=8)
+    assert first.measured == second.measured
+    assert first.claims == second.claims
+
+
+class TestChaosFaultStreamReplay:
+    """The chaos experiment's fault streams come from ``repro.rng``
+    named streams: rebuilding the injector with the same seed must
+    replay the exact same fault schedule."""
+
+    def _chaos_run(self):
+        from repro.dataset.builder import DatasetBuilder
+        builder = DatasetBuilder(seed=7, image_size=64)
+        index = builder.build_scaled(0.004)
+        frames = builder.render_records(index.records[:120])
+        pipe = VipPipeline(
+            PipelineConfig(detector_model="yolov8-n",
+                           device="orin-agx"),
+            seed=7,
+            injector=FaultInjector(scenario("gps_denied_blackout"),
+                                   seed=7))
+        return pipe.run(frames)
+
+    def test_injected_fault_stream_replays(self):
+        a = self._chaos_run()
+        b = self._chaos_run()
+        assert a.injected_faults == b.injected_faults
+        assert a.injected_faults  # the scenario actually fired
+        # jsonable() canonicalises NaN so nan == nan fields compare.
+        assert jsonable(a.summary()) == jsonable(b.summary())
+        assert a.per_frame_latency_ms == b.per_frame_latency_ms
+
+    def test_ablation_chaos_rerun_identical(self, first_runs):
+        first = _first_run(first_runs, "ablation_chaos")
+        second = _run("ablation_chaos")
+        assert first.to_markdown(digits=8) == \
+            second.to_markdown(digits=8)

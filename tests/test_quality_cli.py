@@ -143,6 +143,53 @@ class TestCli:
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
 
+    def _install_fake_experiment(self, monkeypatch, calls):
+        """Route ``run`` through a fake experiment that records the
+        ``enforce_claims`` flag and fails its claim when enforced."""
+        from repro.bench.runner import ExperimentResult
+        from repro.errors import BenchmarkError
+
+        def fake_run(eid, enforce_claims=True, **kwargs):
+            calls.append(enforce_claims)
+            if enforce_claims:
+                raise BenchmarkError(f"claims failed in {eid}")
+            return ExperimentResult(
+                experiment_id=eid, title="Fake", headers=["x"],
+                rows=[[1]], claims={"bound_holds": False})
+
+        import repro.bench.experiments.registry as registry
+        monkeypatch.setattr(registry, "run_experiment", fake_run)
+
+    def test_run_enforces_claims_by_default(self, monkeypatch,
+                                            capsys):
+        calls = []
+        self._install_fake_experiment(monkeypatch, calls)
+        assert main(["run", "table2"]) == 1
+        assert calls == [True]
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_run_no_enforce_reports_but_passes(self, monkeypatch,
+                                               capsys):
+        calls = []
+        self._install_fake_experiment(monkeypatch, calls)
+        assert main(["run", "table2", "--no-enforce"]) == 0
+        assert calls == [False]
+        captured = capsys.readouterr()
+        assert "Fake" in captured.out
+        # Violations are still surfaced, they just don't fail the run.
+        assert "FAILED CLAIMS" in captured.err
+
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.json"
+        assert main(["trace", "table2", "--out", str(out),
+                     "--no-enforce"]) == 0
+        printed = capsys.readouterr().out
+        assert "experiment:table2" in printed
+        assert "% closure" in printed
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
     def test_dataset(self, capsys):
         assert main(["dataset"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the golden snapshots in ``tests/golden/``.
+
+Run after an *intentional* change to experiment outputs::
+
+    PYTHONPATH=src python tools/update_goldens.py [experiment-id ...]
+
+With no arguments every fast experiment is re-pinned; with ids only
+those.  Review the resulting JSON diff before committing — a golden
+update is a statement that the new numbers are correct.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments.registry import (FAST_EXPERIMENTS,
+                                              run_experiment)
+from repro.bench.golden import GOLDEN_KWARGS, write_golden
+
+
+def main(argv) -> int:
+    ids = argv or sorted(FAST_EXPERIMENTS)
+    unknown = [eid for eid in ids if eid not in FAST_EXPERIMENTS]
+    if unknown:
+        print(f"error: not fast experiments: {unknown}",
+              file=sys.stderr)
+        return 2
+    for eid in ids:
+        result = run_experiment(eid, enforce_claims=False,
+                                **GOLDEN_KWARGS.get(eid, {}))
+        path = write_golden(result)
+        print(f"pinned {eid:24s} -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
