@@ -3,6 +3,8 @@
 from .stats import summarize_samples, SampleSummary, bootstrap_ci
 from .runner import ExperimentRunner, ExperimentResult
 from .parallel import parallel_map
+from .trajectory import (compare_points, load_point, previous_point,
+                         run_suite, write_point)
 from .experiments.registry import (
     EXPERIMENTS,
     run_experiment,
@@ -13,5 +15,7 @@ __all__ = [
     "summarize_samples", "SampleSummary", "bootstrap_ci",
     "ExperimentRunner", "ExperimentResult",
     "parallel_map",
+    "compare_points", "load_point", "previous_point", "run_suite",
+    "write_point",
     "EXPERIMENTS", "run_experiment", "experiment_ids",
 ]

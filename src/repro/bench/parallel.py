@@ -19,7 +19,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from ..errors import BenchmarkError
-from ..obs import TraceContext, Tracer, current_tracer, use_tracer
+from ..obs import (TelemetryBus, TraceContext, Tracer,
+                   current_telemetry, current_tracer, use_telemetry,
+                   use_tracer)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -35,27 +37,40 @@ def default_workers() -> int:
 
 
 class _TracedTask:
-    """Picklable wrapper: runs one item under a worker-local tracer.
+    """Picklable wrapper: runs one item under worker-local observers.
 
     Carries the parent's :class:`TraceContext` across the process
     boundary; the worker's spans parent under it and come back with the
     result for :meth:`Tracer.adopt`.  The ``w{index}-`` id prefix keeps
-    span ids minted in different workers collision-free.
+    span ids minted in different workers collision-free.  When the
+    caller's telemetry bus is live, a worker-local bus records per-frame
+    samples that ride back the same way for
+    :meth:`TelemetryBus.adopt` — sketch merges in the parent reproduce
+    the single-process aggregate exactly.
     """
 
     def __init__(self, fn: Callable, context: Optional[TraceContext],
-                 index: int) -> None:
+                 index: int, traced: bool, telemetry: bool) -> None:
         self.fn = fn
         self.context = context
         self.index = index
+        self.traced = traced
+        self.telemetry = telemetry
 
     def __call__(self, item):
         tracer = Tracer(context=self.context,
-                        id_prefix=f"w{self.index}-")
-        with use_tracer(tracer), \
-                tracer.span("map_item", index=self.index):
-            value = self.fn(item)
-        return value, tracer.finished_spans()
+                        id_prefix=f"w{self.index}-") if self.traced \
+            else current_tracer()
+        bus = TelemetryBus() if self.telemetry else current_telemetry()
+        with use_tracer(tracer), use_telemetry(bus):
+            if self.traced:
+                with tracer.span("map_item", index=self.index):
+                    value = self.fn(item)
+            else:
+                value = self.fn(item)
+        spans = tracer.finished_spans() if self.traced else []
+        samples = bus.samples if self.telemetry else []
+        return value, spans, samples
 
 
 def _serial_map(fn: Callable[[T], R], items: Sequence[T],
@@ -92,14 +107,16 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     tracer = current_tracer()
     if force_serial or n_workers == 1 or len(items) < MIN_PARALLEL_ITEMS:
         return _serial_map(fn, items, tracer)
+    bus = current_telemetry()
     traced = tracer.enabled
+    observed = traced or bus.enabled
     context = tracer.current_context() if traced else None
     try:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            if traced:
-                futures = [pool.submit(_TracedTask(fn, context, i),
-                                       item)
-                           for i, item in enumerate(items)]
+            if observed:
+                futures = [pool.submit(
+                    _TracedTask(fn, context, i, traced, bus.enabled),
+                    item) for i, item in enumerate(items)]
             else:
                 futures = [pool.submit(fn, item) for item in items]
             out: List[R] = []
@@ -109,9 +126,12 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
                 except Exception as exc:  # noqa: BLE001 — re-raise typed
                     raise BenchmarkError(
                         f"parallel_map item {i} failed: {exc}") from exc
-                if traced:
-                    value, spans = result
-                    tracer.adopt(spans)
+                if observed:
+                    value, spans, samples = result
+                    if spans:
+                        tracer.adopt(spans)
+                    if samples:
+                        bus.adopt(samples)
                     out.append(value)
                 else:
                     out.append(result)

@@ -8,6 +8,13 @@ Commands:
 * ``trace <experiment-id>`` — run one experiment under the span
   tracer; print the aggregated span tree (inclusive/exclusive wall
   times) and write a Chrome ``trace_event`` JSON file;
+* ``monitor <experiment-id>`` — run an experiment under the telemetry
+  bus and replay it as a fleet dashboard (per-device percentiles, SLO
+  burn rates, health states); ``--spike`` injects a thermal-throttle
+  latency spike into the fleet simulation;
+* ``bench-track`` — run the deterministic probe suite, append a
+  ``BENCH_<label>.json`` trajectory point and fail on p99 regression
+  against the previous point;
 * ``report`` — run every fast experiment and print the consolidated
   paper-vs-measured report (what EXPERIMENTS.md is generated from);
 * ``latency <model> <device>`` — one latency estimate with its
@@ -87,9 +94,12 @@ def _cmd_trace(args) -> int:
         print("\nMetrics:")
         for name, snap in result.metrics.items():
             if snap.get("type") == "histogram":
+                quantiles = " ".join(
+                    f"{k}={snap[k]:.3f}" for k in snap
+                    if k[:1] == "p"
+                    and k[1:].replace(".", "", 1).isdigit())
                 print(f"  {name}: n={snap['count']} "
-                      f"mean={snap['mean']:.3f} p50={snap['p50']:.3f} "
-                      f"p95={snap['p95']:.3f} p99={snap['p99']:.3f}")
+                      f"mean={snap['mean']:.3f} {quantiles}")
             else:
                 print(f"  {name}: {snap.get('value')}")
 
@@ -98,6 +108,114 @@ def _cmd_trace(args) -> int:
     print(f"\nchrome trace: {write_chrome_trace(out, spans)}")
     if args.jsonl:
         print(f"span jsonl  : {write_spans_jsonl(args.jsonl, spans)}")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    from .obs import (MonitorSession, REALTIME_BUDGET_MS, SloObjective,
+                      SloPolicy, TelemetryBus, use_telemetry)
+    bus = TelemetryBus()
+    budget_ms = args.budget_ms
+    if args.experiment == "ablation_fleet":
+        # The fleet dashboard's native subject: re-run the saturation
+        # simulation's fleet with telemetry on (optionally spiked).
+        from .core.fleet import (FleetConfig, FleetScheduler,
+                                 SchedulingPolicy)
+        from .faults import FaultInjector, FaultKind, FaultSpec
+        cfg = FleetConfig(num_drones=args.drones,
+                          duration_s=args.duration)
+        injector = None
+        if args.spike:
+            total = cfg.num_drones * cfg.frames_per_drone
+            start = total // 2
+            injector = FaultInjector((FaultSpec(
+                FaultKind.THERMAL_THROTTLE, start_frame=start,
+                end_frame=min(total, start + total // 4),
+                magnitude=args.spike_factor),))
+        with use_telemetry(bus):
+            FleetScheduler(cfg).run(SchedulingPolicy.ADAPTIVE,
+                                    injector=injector)
+        if budget_ms is None:
+            budget_ms = cfg.deadline_ms
+    else:
+        from .bench.experiments.registry import run_experiment
+        if args.spike:
+            from .errors import BenchmarkError
+            raise BenchmarkError(
+                "--spike only applies to the ablation_fleet monitor")
+        with use_telemetry(bus):
+            run_experiment(args.experiment, enforce_claims=False)
+        if budget_ms is None:
+            budget_ms = REALTIME_BUDGET_MS
+    if not bus.samples:
+        print(f"no telemetry emitted by {args.experiment!r}")
+        return 1
+
+    policy = SloPolicy(objectives=(
+        SloObjective("latency_e2e", target=0.99,
+                     threshold_ms=budget_ms),
+        SloObjective("availability", target=0.99)))
+    session = MonitorSession(policy, refresh_s=args.refresh)
+    live = sys.stdout.isatty() and not args.all_frames
+    ever_burning: set = set()
+    frame = None
+    for frame in session.replay(bus.samples):
+        ever_burning.update(frame.burning_devices)
+        if live:
+            print(f"\x1b[2J\x1b[H{frame.text}", flush=True)
+        elif args.all_frames:
+            print(frame.text)
+            print()
+    if frame is not None and not args.all_frames and not live:
+        print(frame.text)
+    print(f"\n{len(bus.samples)} samples, "
+          f"{len(session.devices)} devices, "
+          f"budget {budget_ms:.2f} ms")
+    if ever_burning:
+        print(f"SLO burned on: {', '.join(sorted(ever_burning))}")
+    for device in sorted(session.devices):
+        for t in session.devices[device].health.transitions:
+            print(f"  {device}: frame {t['frame']} "
+                  f"{t['from']} -> {t['to']} ({t['reason']})")
+    if args.out and frame is not None:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)),
+                    exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(frame.text + "\n")
+        print(f"final frame: {args.out}")
+    return 0
+
+
+def _cmd_bench_track(args) -> int:
+    from .bench import trajectory
+    suite = trajectory.run_suite(n_frames=args.frames)
+    path = trajectory.write_point(args.out_dir, args.label, suite)
+    print(f"trajectory point: {path}")
+    for probe, snap in sorted(suite.items()):
+        quantiles = " ".join(
+            f"{k}={snap[k]:.2f}" for k in snap
+            if k[:1] == "p" and k[1:].replace(".", "", 1).isdigit())
+        print(f"  {probe}: n={snap['count']} {quantiles}")
+    baseline_path = args.baseline or trajectory.previous_point(
+        args.out_dir, args.label)
+    if baseline_path is None:
+        print("no previous trajectory point; regression gate skipped")
+        return 0
+    regressions = trajectory.compare_points(
+        trajectory.load_point(path),
+        trajectory.load_point(baseline_path),
+        max_regress_pct=args.max_regress_pct)
+    if regressions:
+        print(f"p99 REGRESSION vs {baseline_path} "
+              f"(tolerance {args.max_regress_pct:g}%):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r['probe']}: {r['baseline']:.2f} -> "
+                  f"{r['current']:.2f} ms (+{r['regress_pct']:.1f}%)",
+                  file=sys.stderr)
+        return 1
+    print(f"no p99 regression vs {baseline_path} "
+          f"(tolerance {args.max_regress_pct:g}%)")
     return 0
 
 
@@ -163,6 +281,47 @@ def build_parser() -> argparse.ArgumentParser:
                          action="store_false", default=True,
                          help="do not fail on violated paper claims")
 
+    mon_p = sub.add_parser(
+        "monitor", help="replay an experiment's telemetry as a "
+                        "fleet dashboard")
+    mon_p.add_argument("experiment",
+                       help="experiment id (ablation_fleet re-runs "
+                            "the fleet simulation with telemetry)")
+    mon_p.add_argument("--refresh", type=float, default=1.0,
+                       help="dashboard refresh cadence in sim seconds")
+    mon_p.add_argument("--budget-ms", type=float, default=None,
+                       help="latency SLO threshold (default: fleet "
+                            "deadline / 33 ms real-time budget)")
+    mon_p.add_argument("--drones", type=int, default=6,
+                       help="fleet size for ablation_fleet")
+    mon_p.add_argument("--duration", type=float, default=12.0,
+                       help="simulated seconds for ablation_fleet")
+    mon_p.add_argument("--spike", action="store_true",
+                       help="inject a thermal-throttle latency spike "
+                            "mid-run (ablation_fleet only)")
+    mon_p.add_argument("--spike-factor", type=float, default=6.0,
+                       help="latency multiplier during the spike")
+    mon_p.add_argument("--all-frames", action="store_true",
+                       help="print every dashboard frame sequentially")
+    mon_p.add_argument("--out", default=None,
+                       help="also write the final frame to this file")
+
+    track_p = sub.add_parser(
+        "bench-track", help="append a BENCH_<label>.json trajectory "
+                            "point; fail on p99 regression")
+    track_p.add_argument("--label", default=None,
+                         help="point label (default: today's date)")
+    track_p.add_argument("--out-dir", default="bench_trajectory",
+                         help="trajectory directory")
+    track_p.add_argument("--baseline", default=None,
+                         help="explicit baseline point to compare "
+                              "against (default: previous point in "
+                              "the trajectory dir)")
+    track_p.add_argument("--frames", type=int, default=150,
+                         help="frames per latency probe")
+    track_p.add_argument("--max-regress-pct", type=float, default=10.0,
+                         help="p99 regression tolerance in percent")
+
     sub.add_parser("report",
                    help="run all fast experiments, print the report")
 
@@ -179,6 +338,8 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "monitor": _cmd_monitor,
+    "bench-track": _cmd_bench_track,
     "report": _cmd_report,
     "latency": _cmd_latency,
     "dataset": _cmd_dataset,
@@ -188,6 +349,9 @@ _HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "bench-track" and args.label is None:
+        import datetime
+        args.label = datetime.date.today().isoformat()
     try:
         return _HANDLERS[args.command](args)
     except ReproError as exc:

@@ -27,7 +27,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import BenchmarkError
+from ..faults.injector import FaultInjector
 from ..latency.estimator import LatencyEstimator
+from ..obs import current_telemetry
 from ..train.surrogate import AccuracySurrogate, SurrogateQuery
 from ..units import fps_to_period_ms
 
@@ -137,22 +139,40 @@ class FleetScheduler:
         events.sort()
         return events
 
-    def run(self, policy: SchedulingPolicy) -> FleetReport:
-        """Simulate the fleet under a placement policy."""
+    def run(self, policy: SchedulingPolicy,
+            injector: Optional[FaultInjector] = None) -> FleetReport:
+        """Simulate the fleet under a placement policy.
+
+        Per-frame ``e2e`` response samples (tagged ``drone-NN``) and
+        cloud execution samples flow to the ambient telemetry bus; an
+        optional :class:`FaultInjector` applies its per-frame
+        ``slowdown`` factor to both placements' execution costs, so a
+        windowed THERMAL_THROTTLE spec shows up as a latency spike on
+        the dashboard.  With neither, behaviour is byte-identical to
+        the uninstrumented simulation.
+        """
         cfg = self.config
         report = FleetReport(policy=policy.value)
+        bus = current_telemetry()
+        arrivals = self._arrivals()
+        if injector is not None:
+            injector.prepare(len(arrivals))
         # Busy-until timelines: one per edge device, one for the cloud.
         edge_free = [0.0] * cfg.num_drones
         cloud_free = 0.0
         total_response = 0.0
 
-        for arrival, drone in self._arrivals():
+        for ordinal, (arrival, drone) in enumerate(arrivals):
+            factor = injector.slowdown(ordinal) if injector is not None \
+                else 1.0
+            edge_exec = self.edge_exec_ms * factor
+            cloud_exec = self.cloud_exec_ms * factor
             # Predicted completion for both placements.
             edge_start = max(arrival, edge_free[drone])
-            edge_done = edge_start + self.edge_exec_ms
+            edge_done = edge_start + edge_exec
             cloud_start = max(arrival + cfg.network_rtt_ms / 2.0,
                               cloud_free)
-            cloud_done = cloud_start + self.cloud_exec_ms \
+            cloud_done = cloud_start + cloud_exec \
                 + cfg.network_rtt_ms / 2.0
 
             if policy is SchedulingPolicy.EDGE_ONLY:
@@ -176,9 +196,12 @@ class FleetScheduler:
 
             if use_cloud:
                 done = cloud_done
-                cloud_free = cloud_start + self.cloud_exec_ms
+                cloud_free = cloud_start + cloud_exec
                 report.cloud_frames += 1
                 report.accuracy_weighted += self.cloud_acc
+                if bus.enabled:
+                    bus.emit(cfg.cloud_device, "exec", cloud_exec,
+                             arrival / 1000.0)
             else:
                 done = edge_done
                 edge_free[drone] = edge_done
@@ -190,6 +213,9 @@ class FleetScheduler:
             total_response += response
             if response > cfg.deadline_ms:
                 report.deadline_violations += 1
+            if bus.enabled:
+                bus.emit(f"drone-{drone:02d}", "e2e", response,
+                         arrival / 1000.0)
 
         report.accuracy_weighted /= max(report.frames, 1)
         report.mean_response_ms = total_response / max(report.frames, 1)

@@ -38,7 +38,8 @@ from ..faults.injector import (DROPOUT_TAG, FaultInjector,
                                corruption_severity_from_tags)
 from ..geometry.bbox import BBox
 from ..latency.sampler import LatencySampler
-from ..obs import Tracer, current_tracer
+from ..obs import (SloPolicy, SloTracker, TelemetryBus, Tracer,
+                   current_telemetry, current_tracer)
 from ..rng import coerce_rng
 from ..train.surrogate import AccuracySurrogate, SurrogateQuery
 from ..units import fps_to_period_ms
@@ -116,6 +117,9 @@ class PipelineReport:
     available_frames: int = 0
     recovery_frames: List[int] = field(default_factory=list)
     injected_faults: Dict[str, int] = field(default_factory=dict)
+    #: Frames processed while an SLO objective was burning (0 unless
+    #: the pipeline runs with an SloPolicy).
+    slo_burn_frames: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -187,6 +191,7 @@ class PipelineReport:
             "fallbacks": dict(self.fallback_activations),
             "stage_failures": dict(self.stage_failures),
             "retries": self.retries,
+            "slo_burn_frames": self.slo_burn_frames,
         }
 
     def _bump(self, counter: Dict[str, int], key: str) -> None:
@@ -237,12 +242,17 @@ class VipPipeline:
                  seed: int = 7,
                  injector: Optional[FaultInjector] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 slo: Optional[SloPolicy] = None) -> None:
         self.config = config
         #: None means "resolve the ambient tracer at run() time", so a
         #: pipeline built outside ``use_tracer(...)`` still traces when
         #: run inside it.  The default ambient tracer is the no-op.
         self._tracer = tracer
+        #: Optional SLO policy: burn-rate state feeds the health
+        #: monitor, so sustained latency-budget burn drives
+        #: NOMINAL → DEGRADED even without stage faults.
+        self.slo = slo
         self.seed = seed
         self.perceptor = perceptor if perceptor is not None \
             else _OraclePerceptor(config.detector_model, seed)
@@ -341,6 +351,9 @@ class VipPipeline:
         prev_track_id: Optional[int] = None
         processed_i = 0
         shed_until = -1
+        bus = current_telemetry()
+        slo_tracker = SloTracker(self.slo) if self.slo is not None \
+            else None
         metrics = tracer.metrics
         frame_latency_hist = metrics.histogram(
             "pipeline.frame_latency_ms")
@@ -350,11 +363,16 @@ class VipPipeline:
 
         for i, frame in enumerate(frames):
             arrival = i * period
+            arrival_s = arrival / 1000.0
             report.frames_offered += 1
             if arrival < busy_until:
                 report.frames_dropped += 1
                 dropped_counter.inc()
                 health.idle_tick()       # no fresh guidance this frame
+                if slo_tracker is not None:
+                    # A dropped frame is stale guidance: an
+                    # availability bad event on the SLO clock.
+                    slo_tracker.record_available(False, arrival_s)
                 continue
 
             shedding = res.enabled and res.load_shedding \
@@ -363,12 +381,14 @@ class VipPipeline:
                 with tracer.span("frame", index=i) as frame_span:
                     total_ms, prev_track_id = self._process_frame(
                         frame, i, processed_i, lat, executor, health,
-                        report, tracer, prev_track_id, shedding)
+                        report, tracer, prev_track_id, shedding,
+                        arrival_s, bus, slo_tracker)
                     frame_span.set_attr("latency_ms", total_ms)
             else:
                 total_ms, prev_track_id = self._process_frame(
                     frame, i, processed_i, lat, executor, health,
-                    report, tracer, prev_track_id, shedding)
+                    report, tracer, prev_track_id, shedding,
+                    arrival_s, bus, slo_tracker)
             frame_latency_hist.observe(total_ms)
             processed_counter.inc()
             busy_until = arrival + total_ms
@@ -390,12 +410,18 @@ class VipPipeline:
                        lat: dict, executor: StageExecutor,
                        health: HealthMonitor, report: PipelineReport,
                        tracer: Tracer, prev_track_id: Optional[int],
-                       shedding: bool):
+                       shedding: bool, arrival_s: float,
+                       bus: TelemetryBus,
+                       slo_tracker: Optional[SloTracker]):
         """One processed frame: detect → track → pose → depth → alert.
 
         Returns ``(total_ms, prev_track_id)``; every stage runs inside
         its own span, so guard events (retries, watchdog kills) attach
-        to the stage that suffered them.
+        to the stage that suffered them.  Stage and end-to-end costs
+        are emitted on the ambient telemetry bus (device-tagged, on the
+        simulated clock), and when an SLO tracker is wired in, its
+        burn-rate verdict counts as degradation evidence for the
+        health monitor.
         """
         cfg = self.config
         res = self.resilience
@@ -425,6 +451,8 @@ class VipPipeline:
                                lambda: list(self.perceptor(seen)))
         total_ms = out.cost_ms
         report.retries += out.attempts - 1
+        if bus.enabled:
+            bus.emit(cfg.device, "detect", out.cost_ms, arrival_s)
 
         has_truth = bool(frame.vest_boxes)
         if out.status.failed:
@@ -504,6 +532,8 @@ class VipPipeline:
                                    pose_fn)
             total_ms += out.cost_ms
             report.retries += out.attempts - 1
+            if bus.enabled:
+                bus.emit(cfg.device, "pose", out.cost_ms, arrival_s)
             if out.status.failed:
                 report._bump(report.stage_failures, "pose")
                 degraded = True
@@ -538,6 +568,8 @@ class VipPipeline:
                     lambda: self._nearest_from_depth(seen))
             total_ms += out.cost_ms
             report.retries += out.attempts - 1
+            if bus.enabled:
+                bus.emit(cfg.device, "depth", out.cost_ms, arrival_s)
             nearest: Optional[float] = None
             have_range = False
             if out.status.failed:
@@ -563,9 +595,25 @@ class VipPipeline:
                 if alert:
                     report.alerts.append(alert)
 
+        # -- SLO burn: latency-budget pressure is degradation too ---
+        slo_reason: Optional[str] = None
+        if slo_tracker is not None:
+            slo_tracker.record_latency(total_ms, arrival_s)
+            slo_status = slo_tracker.status(arrival_s)
+            if slo_status.burning:
+                report.slo_burn_frames += 1
+                if not degraded:
+                    slo_reason = "slo burn: " + ",".join(
+                        slo_status.burning_names())
+                degraded = True
+                tracer.event("slo_burning", frame=i,
+                             objectives=slo_status.burning_names())
+
         # -- health, availability, alerting ------------------------
         def alert_stage():
-            record = health.observe(i, degraded, critical)
+            nonlocal frame_available
+            record = health.observe(i, degraded, critical,
+                                    reason=slo_reason)
             if record is not None:
                 report.health_transitions.append(record)
                 tracer.event("health_transition",
@@ -586,12 +634,18 @@ class VipPipeline:
             if health.state is not HealthState.SAFE_STOP \
                     and not critical:
                 report.available_frames += 1
+                frame_available = True
 
+        frame_available = False
         if traced:
             with tracer.span("alert", frame=i):
                 alert_stage()
         else:
             alert_stage()
+        if slo_tracker is not None:
+            slo_tracker.record_available(frame_available, arrival_s)
+        if bus.enabled:
+            bus.emit(cfg.device, "e2e", total_ms, arrival_s)
 
         report.per_frame_latency_ms.append(total_ms)
         report.frames_processed += 1

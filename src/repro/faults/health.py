@@ -61,10 +61,13 @@ class HealthMonitor:
     _left_nominal_at: Optional[int] = None
 
     def observe(self, frame_index: int, degraded: bool,
-                critical: bool) -> Optional[Dict]:
+                critical: bool,
+                reason: Optional[str] = None) -> Optional[Dict]:
         """Feed one processed frame's verdict; returns a transition
         record (``{"frame", "from", "to", "reason"}``) when the state
-        changes, else ``None``."""
+        changes, else ``None``.  ``reason`` overrides the default
+        transition label — SLO burn-driven degradation reads
+        differently from fault pressure in the transition log."""
         clean = not degraded and not critical
         self._consecutive_clean = self._consecutive_clean + 1 if clean \
             else 0
@@ -76,7 +79,8 @@ class HealthMonitor:
             if critical or degraded:
                 record = self._transition(
                     frame_index, HealthState.DEGRADED,
-                    "critical frame" if critical else "fallback engaged")
+                    reason or ("critical frame" if critical
+                               else "fallback engaged"))
                 self._left_nominal_at = frame_index
         elif self.state is HealthState.DEGRADED:
             if self._consecutive_critical >= self.config.safe_stop_after:

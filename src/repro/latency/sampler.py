@@ -29,6 +29,7 @@ from ..hardware.power import PowerModel, ThermalState
 from ..hardware.registry import device_spec
 from ..hardware.roofline import RooflineModel
 from ..models.spec import ModelSpec, model_spec
+from ..obs import current_telemetry
 from ..rng import coerce_rng
 
 
@@ -144,9 +145,16 @@ class LatencySampler:
                 heat_capacity=max((dspec.weight_g or 400.0) / 8.0, 15.0))
             utilisation = min(mspec.util_multiplier, 1.0) * 0.9
             power = self._power.draw_watts(dspec, utilisation)
+            bus = current_telemetry()
+            elapsed_s = 0.0
             for i in range(total):
                 mult = thermal.step(power, samples[i] / 1000.0)
                 samples[i] *= mult
+                if bus.enabled:
+                    elapsed_s += samples[i] / 1000.0
+                    bus.emit(device, "power", power, elapsed_s, unit="W")
+                    bus.emit(device, "temp", thermal.temperature_c,
+                             elapsed_s, unit="C")
 
         if not include_warmup:
             samples = samples[cfg.warmup_frames:]

@@ -1,0 +1,176 @@
+"""Fleet monitoring dashboard: replayed telemetry → rendered frames.
+
+``python -m repro monitor`` drives this: a :class:`MonitorSession`
+consumes a time-ordered telemetry sample stream (recorded by a
+:class:`~repro.obs.telemetry.TelemetryBus` during a simulated run) and
+maintains, per device,
+
+* sliding-window latency sketches (the live p50/p95/p99 columns),
+* an :class:`~repro.obs.slo.SloTracker` (fast/slow burn rates), and
+* a :class:`~repro.faults.health.HealthMonitor` driven by SLO burn —
+  the monitoring-side twin of the pipeline's fault-pressure health.
+
+Because the stream carries *simulated* timestamps and the windows
+rotate on those, a replay is byte-reproducible: the same run renders
+the same dashboard frames, which is what the CI artifact and the tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import ConfigError
+from ..faults.health import HealthMonitor
+from .sketch import DEFAULT_QUANTILES, quantile_key
+from .slo import SloPolicy, SloStatus, SloTracker
+from .telemetry import Aggregator, TelemetryBus, TelemetrySample
+
+#: Stage whose samples feed the SLO trackers (end-to-end latency).
+SLO_STAGE = "e2e"
+
+
+@dataclass
+class DeviceState:
+    """Everything the dashboard tracks for one device."""
+
+    device: str
+    slo: SloTracker
+    health: HealthMonitor
+    frames: int = 0
+    last_status: Optional[SloStatus] = None
+
+
+@dataclass
+class DashboardFrame:
+    """One rendered refresh of the fleet dashboard."""
+
+    t_s: float
+    text: str
+    burning_devices: List[str] = field(default_factory=list)
+    degraded_devices: List[str] = field(default_factory=list)
+
+
+class MonitorSession:
+    """Replays a telemetry stream into dashboard frames.
+
+    ``refresh_s`` is the cadence dashboard frames are emitted at; the
+    sample stream must be time-ordered (the bus records it that way for
+    simulated runs).
+    """
+
+    def __init__(self, policy: SloPolicy = SloPolicy(),
+                 refresh_s: float = 1.0,
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        if refresh_s <= 0:
+            raise ConfigError("refresh cadence must be positive")
+        self.policy = policy
+        self.refresh_s = float(refresh_s)
+        self.quantiles = tuple(quantiles)
+        #: The session's own bus: windows sized to the fast SLO window.
+        self.bus = TelemetryBus(window_s=policy.fast.window_s,
+                                record=False)
+        self.devices: Dict[str, DeviceState] = {}
+
+    def _device(self, name: str) -> DeviceState:
+        state = self.devices.get(name)
+        if state is None:
+            state = DeviceState(device=name,
+                                slo=SloTracker(self.policy),
+                                health=HealthMonitor())
+            self.devices[name] = state
+        return state
+
+    def feed(self, sample: TelemetrySample) -> None:
+        """Consume one sample; SLO/health only move on e2e samples."""
+        self.bus.emit(sample.device, sample.stage, sample.value,
+                      sample.t_s, sample.unit)
+        if sample.stage != SLO_STAGE:
+            return
+        state = self._device(sample.device)
+        state.frames += 1
+        state.slo.record_latency(sample.value, sample.t_s)
+        state.slo.record_available(True, sample.t_s)
+        status = state.slo.status(sample.t_s)
+        state.last_status = status
+        reason = None
+        if status.burning:
+            reason = "slo burn: " + ",".join(status.burning_names())
+        state.health.observe(state.frames - 1, status.burning, False,
+                             reason=reason)
+
+    def replay(self, samples: Sequence[TelemetrySample]
+               ) -> Iterator[DashboardFrame]:
+        """Feed samples in stream order, yielding a frame per refresh
+        boundary plus one final frame at stream end."""
+        next_refresh: Optional[float] = None
+        last_t = 0.0
+        for sample in samples:
+            if next_refresh is None:
+                next_refresh = sample.t_s + self.refresh_s
+            while sample.t_s >= next_refresh:
+                yield self.render_frame(next_refresh)
+                next_refresh += self.refresh_s
+            self.feed(sample)
+            last_t = max(last_t, sample.t_s)
+        yield self.render_frame(last_t)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_frame(self, now_s: float) -> DashboardFrame:
+        agg = Aggregator(self.bus)
+        per_device = agg.per_device(now_s, windowed=True,
+                                    quantiles=self.quantiles)
+        fleet = agg.fleet(now_s, windowed=True,
+                          quantiles=self.quantiles)
+        qcols = [quantile_key(q) for q in self.quantiles]
+        header = (f"{'device':<12s} {'frames':>7s} "
+                  + " ".join(f"{c + ' ms':>9s}" for c in qcols)
+                  + f" {'fast burn':>10s} {'slow burn':>10s} "
+                  f"{'slo':>8s} {'health':>9s}")
+        lines = [
+            f"fleet dashboard — t={now_s:8.2f} s  "
+            f"(window {self.bus.window_s:g} s, stage {SLO_STAGE!r})",
+            header, "-" * len(header),
+        ]
+        burning: List[str] = []
+        degraded: List[str] = []
+        for device in sorted(self.devices):
+            state = self.devices[device]
+            snap = per_device.get(device, {}).get(SLO_STAGE, {})
+            status = state.last_status
+            fast = slow = 0.0
+            is_burning = False
+            if status is not None:
+                fast = max(o.fast_burn
+                           for o in status.objectives.values())
+                slow = max(o.slow_burn
+                           for o in status.objectives.values())
+                is_burning = status.burning
+            if is_burning:
+                burning.append(device)
+            health = state.health.state.value
+            if health != "nominal":
+                degraded.append(device)
+            lines.append(
+                f"{device:<12s} {state.frames:>7d} "
+                + " ".join(_fmt(snap.get(c)) for c in qcols)
+                + f" {fast:>10.2f} {slow:>10.2f} "
+                + f"{'BURNING' if is_burning else 'ok':>8s} "
+                + f"{health:>9s}")
+        for stage in sorted(fleet):
+            snap = fleet[stage]
+            lines.append(
+                f"{'fleet/' + stage:<12s} {snap['count']:>7d} "
+                + " ".join(_fmt(snap.get(c)) for c in qcols)
+                + f" {'':>10s} {'':>10s} {'':>8s} {'':>9s}")
+        return DashboardFrame(t_s=now_s, text="\n".join(lines),
+                              burning_devices=burning,
+                              degraded_devices=degraded)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return f"{'-':>9s}"
+    return f"{value:>9.2f}"

@@ -27,6 +27,44 @@ DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
     250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0)
 
+#: Default summary quantiles for snapshots (p50/p95/p99).
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+
+def quantile_key(q: float) -> str:
+    """Stable snapshot key for a quantile (0.99 → ``"p99"``)."""
+    return f"p{100.0 * q:g}"
+
+
+def interpolated_quantile(bounds, counts, count: int, vmin: float,
+                          vmax: float, q: float) -> float:
+    """Linear-interpolated quantile from fixed bucket counts.
+
+    The one quantile implementation behind :class:`Histogram` and the
+    bucketed phase of :class:`~repro.obs.sketch.QuantileSketch`.
+    Returns NaN when empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile {q} outside [0, 1]")
+    if count == 0:
+        return float("nan")
+    target = q * count
+    cum = 0
+    lo = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            lo = float(bounds[i]) if i < len(bounds) else lo
+            continue
+        if cum + c >= target:
+            hi = float(bounds[i]) if i < len(bounds) else vmax
+            frac = (target - cum) / c
+            est = lo + frac * (hi - lo)
+            # Exact extrema beat interpolation at the tails.
+            return float(min(max(est, vmin), vmax))
+        cum += c
+        lo = float(bounds[i]) if i < len(bounds) else lo
+    return vmax
+
 
 class Counter:
     """Monotonically increasing count."""
@@ -64,13 +102,21 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with interpolated quantile summaries."""
+    """Fixed-bucket histogram with interpolated quantile summaries.
+
+    Non-finite observations (NaN, ±inf) carry no latency information
+    and would poison ``min``/``max``/``quantile``; they are skipped and
+    counted in ``dropped`` so the loss stays visible.  Snapshot
+    quantiles default to p50/p95/p99 and are configurable per
+    histogram (``quantiles=...``) or per snapshot call.
+    """
 
     __slots__ = ("name", "bounds", "counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "dropped", "quantiles")
 
     def __init__(self, name: str,
-                 buckets: Sequence[float] = DEFAULT_BUCKETS_MS) -> None:
+                 buckets: Sequence[float] = DEFAULT_BUCKETS_MS,
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
         bounds = [float(b) for b in buckets]
         if not bounds:
             raise ConfigError(f"histogram {name!r} needs >= 1 bucket")
@@ -80,6 +126,10 @@ class Histogram:
         if any(not math.isfinite(b) for b in bounds):
             raise ConfigError(
                 f"histogram {name!r} bounds must be finite")
+        qs = tuple(float(q) for q in quantiles)
+        if not qs or any(not 0.0 <= q <= 1.0 for q in qs):
+            raise ConfigError(
+                f"histogram {name!r} quantiles must lie in [0, 1]")
         self.name = name
         self.bounds = np.asarray(bounds, dtype=np.float64)
         # counts[i] observations <= bounds[i]; counts[-1] is +inf overflow.
@@ -88,11 +138,14 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.dropped = 0
+        self.quantiles = qs
 
     def observe(self, value: float) -> None:
         v = float(value)
-        if math.isnan(v):
-            return  # NaNs carry no latency information; skip, not poison
+        if not math.isfinite(v):
+            self.dropped += 1  # skip, don't poison; but keep it visible
+            return
         self.counts[int(np.searchsorted(self.bounds, v))] += 1
         self.count += 1
         self.total += v
@@ -103,44 +156,30 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Linear-interpolated quantile estimate (NaN when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ConfigError(f"quantile {q} outside [0, 1]")
-        if self.count == 0:
-            return float("nan")
-        target = q * self.count
-        cum = 0
-        lo = 0.0
-        for i, c in enumerate(self.counts):
-            if c == 0:
-                lo = float(self.bounds[i]) if i < len(self.bounds) else lo
-                continue
-            if cum + c >= target:
-                hi = float(self.bounds[i]) if i < len(self.bounds) \
-                    else self.max
-                frac = (target - cum) / c
-                est = lo + frac * (hi - lo)
-                # Exact extrema beat interpolation at the tails.
-                return float(min(max(est, self.min), self.max))
-            cum += c
-            lo = float(self.bounds[i]) if i < len(self.bounds) else lo
-        return self.max
+        return interpolated_quantile(self.bounds, self.counts,
+                                     self.count, self.min, self.max, q)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
-    def snapshot(self) -> dict:
-        return {
+    def snapshot(self, quantiles: Optional[Sequence[float]] = None
+                 ) -> dict:
+        qs = self.quantiles if quantiles is None \
+            else tuple(float(q) for q in quantiles)
+        out = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean if self.count else None,
-            "p50": self.quantile(0.50) if self.count else None,
-            "p95": self.quantile(0.95) if self.count else None,
-            "p99": self.quantile(0.99) if self.count else None,
+            "dropped": self.dropped,
         }
+        for q in qs:
+            out[quantile_key(q)] = self.quantile(q) if self.count \
+                else None
+        return out
 
 
 class MetricsRegistry:
@@ -169,18 +208,29 @@ class MetricsRegistry:
         return self._get(name, Gauge, lambda: Gauge(name))
 
     def histogram(self, name: str,
-                  buckets: Sequence[float] = DEFAULT_BUCKETS_MS
+                  buckets: Sequence[float] = DEFAULT_BUCKETS_MS,
+                  quantiles: Sequence[float] = DEFAULT_QUANTILES
                   ) -> Histogram:
         return self._get(name, Histogram,
-                         lambda: Histogram(name, buckets))
+                         lambda: Histogram(name, buckets, quantiles))
 
     def names(self) -> List[str]:
         return sorted(self._instruments)
 
-    def snapshot(self) -> Dict[str, dict]:
-        """All instruments as one JSON-able dict (sorted, stable)."""
-        return {name: self._instruments[name].snapshot()
-                for name in self.names()}
+    def snapshot(self, quantiles: Optional[Sequence[float]] = None
+                 ) -> Dict[str, dict]:
+        """All instruments as one JSON-able dict (sorted, stable).
+
+        ``quantiles`` overrides every histogram's summary quantiles for
+        this snapshot (counters/gauges are unaffected)."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            inst = self._instruments[name]
+            if quantiles is not None and isinstance(inst, Histogram):
+                out[name] = inst.snapshot(quantiles)
+            else:
+                out[name] = inst.snapshot()
+        return out
 
 
 class _NullInstrument:
@@ -199,7 +249,8 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         return None
 
-    def snapshot(self) -> dict:
+    def snapshot(self, quantiles: Optional[Sequence[float]] = None
+                 ) -> dict:
         return {}
 
 
@@ -216,11 +267,13 @@ class NullMetricsRegistry(MetricsRegistry):
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str,
-                  buckets: Sequence[float] = DEFAULT_BUCKETS_MS):
+                  buckets: Sequence[float] = DEFAULT_BUCKETS_MS,
+                  quantiles: Sequence[float] = DEFAULT_QUANTILES):
         # type: ignore[override]
         return _NULL_INSTRUMENT
 
-    def snapshot(self) -> Dict[str, dict]:
+    def snapshot(self, quantiles: Optional[Sequence[float]] = None
+                 ) -> Dict[str, dict]:
         return {}
 
 

@@ -1,0 +1,225 @@
+"""SLO policies evaluated with multi-window burn rates.
+
+The paper's feasibility question is a service-level objective in
+disguise: "99 % of frames complete inside the 33 ms real-time budget"
+(30 FPS, Table 3).  This module turns that — plus availability — into
+Prometheus/SRE-style *burn-rate* alerting:
+
+* each frame is a good or bad **event** against an objective (latency
+  over budget, guidance unavailable);
+* the **burn rate** over a window is the observed bad fraction divided
+  by the objective's error budget (``1 − target``) — burn 1 means the
+  budget is being consumed exactly as provisioned, burn 14 means the
+  month's budget dies in ~2 days;
+* an objective is **burning** only when a *fast* window (catches the
+  spike quickly) and a *slow* window (filters blips) both exceed their
+  thresholds — the standard multi-window compromise between detection
+  latency and false alarms.
+
+:class:`SloTracker` feeds on per-frame evidence with the injected sim
+clock (never wall time), so burn-rate state is byte-reproducible, and
+its verdict is wired into :class:`~repro.faults.health.HealthMonitor`:
+sustained SLO burn drives NOMINAL → DEGRADED exactly like fault
+pressure does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from ..units import fps_to_period_ms
+from .sketch import WindowedCounter, WindowedSketch
+
+#: The paper's hard real-time budget: 30 FPS ⇒ ~33.3 ms per frame.
+REALTIME_BUDGET_MS = fps_to_period_ms(30.0)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: what fraction of events must be good.
+
+    ``threshold_ms`` marks a latency objective (an event is bad when
+    the frame exceeds it); without it the objective scores boolean
+    events fed directly (availability).
+    """
+
+    name: str
+    target: float = 0.99
+    threshold_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("objective name must be non-empty")
+        if not 0.0 < self.target < 1.0:
+            raise ConfigError(
+                f"target must be in (0, 1), got {self.target}")
+        if self.threshold_ms is not None and self.threshold_ms <= 0:
+            raise ConfigError("latency threshold must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One alerting window: its span and the burn rate that trips it."""
+
+    window_s: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ConfigError("burn window must be positive")
+        if self.threshold <= 0:
+            raise ConfigError("burn threshold must be positive")
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Objectives plus the fast/slow burn-rate alerting windows.
+
+    Defaults follow the SRE-book page condition scaled to drone time:
+    a 5 s fast window at burn ≥ 14.4 AND a 60 s slow window at burn ≥ 6
+    — a hard latency spike trips both within a few seconds, a brief
+    blip trips neither.
+    """
+
+    objectives: Tuple[SloObjective, ...] = (
+        SloObjective("latency_e2e", target=0.99,
+                     threshold_ms=REALTIME_BUDGET_MS),
+        SloObjective("availability", target=0.99),
+    )
+    fast: BurnWindow = BurnWindow(5.0, 14.4)
+    slow: BurnWindow = BurnWindow(60.0, 6.0)
+    subwindows: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ConfigError("policy needs >= 1 objective")
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate objective names: {names}")
+        if self.fast.window_s >= self.slow.window_s:
+            raise ConfigError("fast window must be shorter than slow")
+        if self.subwindows < 1:
+            raise ConfigError("need at least one sub-window")
+
+    def latency_objectives(self) -> Tuple[SloObjective, ...]:
+        return tuple(o for o in self.objectives
+                     if o.threshold_ms is not None)
+
+    def event_objectives(self) -> Tuple[SloObjective, ...]:
+        return tuple(o for o in self.objectives
+                     if o.threshold_ms is None)
+
+
+@dataclass
+class ObjectiveStatus:
+    """Burn state of one objective at a point in time."""
+
+    name: str
+    fast_burn: float
+    slow_burn: float
+    burning: bool
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "fast_burn": self.fast_burn,
+                "slow_burn": self.slow_burn, "burning": self.burning}
+
+
+@dataclass
+class SloStatus:
+    """Policy-wide verdict: every objective plus the OR-reduction."""
+
+    t_s: float
+    objectives: Dict[str, ObjectiveStatus] = field(default_factory=dict)
+
+    @property
+    def burning(self) -> bool:
+        return any(o.burning for o in self.objectives.values())
+
+    def burning_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(n for n, o in self.objectives.items()
+                            if o.burning))
+
+    def to_dict(self) -> dict:
+        return {"t_s": self.t_s, "burning": self.burning,
+                "objectives": {n: o.to_dict() for n, o in
+                               sorted(self.objectives.items())}}
+
+
+class _ObjectiveTracker:
+    """Fast+slow windowed good/bad counts for one objective."""
+
+    def __init__(self, objective: SloObjective,
+                 policy: SloPolicy) -> None:
+        self.objective = objective
+        self._policy = policy
+        self._fast = WindowedCounter(policy.fast.window_s,
+                                     policy.subwindows)
+        self._slow = WindowedCounter(policy.slow.window_s,
+                                     policy.subwindows)
+
+    def record(self, good: bool, now_s: float) -> None:
+        self._fast.record(good, now_s)
+        self._slow.record(good, now_s)
+
+    def burn_rates(self, now_s: float) -> Tuple[float, float]:
+        budget = self.objective.error_budget
+        return (self._fast.bad_fraction(now_s) / budget,
+                self._slow.bad_fraction(now_s) / budget)
+
+    def status(self, now_s: float) -> ObjectiveStatus:
+        fast, slow = self.burn_rates(now_s)
+        burning = fast >= self._policy.fast.threshold \
+            and slow >= self._policy.slow.threshold
+        return ObjectiveStatus(self.objective.name, fast, slow,
+                               burning)
+
+
+class SloTracker:
+    """Evaluates an :class:`SloPolicy` over a live event stream.
+
+    Also keeps a fast-window latency sketch so dashboards can show the
+    windowed p99 next to the budget it is judged against.
+    """
+
+    def __init__(self, policy: SloPolicy = SloPolicy()) -> None:
+        self.policy = policy
+        self._trackers = {o.name: _ObjectiveTracker(o, policy)
+                          for o in policy.objectives}
+        self._latency = WindowedSketch(policy.fast.window_s,
+                                       policy.subwindows)
+
+    def record_latency(self, latency_ms: float, now_s: float) -> None:
+        """Score one frame's latency against every latency objective."""
+        self._latency.observe(latency_ms, now_s)
+        for obj in self.policy.latency_objectives():
+            self._trackers[obj.name].record(
+                latency_ms <= obj.threshold_ms, now_s)
+
+    def record_event(self, name: str, good: bool, now_s: float) -> None:
+        """Score one boolean event (e.g. availability) by objective."""
+        tracker = self._trackers.get(name)
+        if tracker is None:
+            raise ConfigError(
+                f"unknown objective {name!r}; policy has "
+                f"{sorted(self._trackers)}")
+        tracker.record(good, now_s)
+
+    def record_available(self, available: bool, now_s: float) -> None:
+        """Shorthand for the conventional availability objective."""
+        if "availability" in self._trackers:
+            self.record_event("availability", available, now_s)
+
+    def windowed_latency_quantile(self, q: float,
+                                  now_s: float) -> float:
+        return self._latency.merged(now_s).quantile(q)
+
+    def status(self, now_s: float) -> SloStatus:
+        return SloStatus(t_s=now_s, objectives={
+            name: tr.status(now_s)
+            for name, tr in sorted(self._trackers.items())})
