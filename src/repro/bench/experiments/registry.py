@@ -18,7 +18,7 @@ from . import (ablation_adaptive, ablation_calibration,
                ablation_multimodal, ablation_percategory,
                ablation_pipeline, ablation_precision,
                ablation_sampling, ablation_severity, ablation_strata,
-               fig1_curation, fig2_gallery, fig3_diverse,
+               exp_serving, fig1_curation, fig2_gallery, fig3_diverse,
                fig4_adversarial, fig5_edge_latency, fig6_workstation,
                table1_dataset, table2_models, table3_devices)
 
@@ -43,6 +43,7 @@ FAST_EXPERIMENTS: Dict[str, object] = {
     "ablation_precision": ablation_precision.run,
     "ablation_fleet": ablation_fleet.run,
     "ablation_strata": ablation_strata.run,
+    "exp_serving": exp_serving.run,
 }
 
 #: Experiments that train mini models (minutes).

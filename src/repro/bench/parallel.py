@@ -31,8 +31,17 @@ MIN_PARALLEL_ITEMS = 4
 
 
 def default_workers() -> int:
-    """Worker count: physical-ish core count, capped for memory."""
-    cpus = os.cpu_count() or 1
+    """Worker count: physical-ish core count, capped for memory.
+
+    Prefers the scheduling affinity mask over ``os.cpu_count()``: in
+    cgroup/affinity-limited environments (CI containers, ``taskset``)
+    the machine may advertise 64 cores while the process is allowed 2,
+    and sizing the pool to the machine oversubscribes badly.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux / restricted platforms
+        cpus = os.cpu_count() or 1
     return max(1, min(cpus - 1, 8))
 
 
@@ -111,35 +120,48 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     traced = tracer.enabled
     observed = traced or bus.enabled
     context = tracer.current_context() if traced else None
+    # The serial fallback is safe only before any result has been
+    # consumed: once spans/telemetry from a worker were adopted into the
+    # parent, re-running every item serially would double-count them.
+    # So only pool creation and submission may degrade to serial; any
+    # failure while consuming results propagates as BenchmarkError.
     try:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        try:
             if observed:
                 futures = [pool.submit(
                     _TracedTask(fn, context, i, traced, bus.enabled),
                     item) for i, item in enumerate(items)]
             else:
                 futures = [pool.submit(fn, item) for item in items]
-            out: List[R] = []
-            for i, fut in enumerate(futures):
-                try:
-                    result = fut.result()
-                except Exception as exc:  # noqa: BLE001 — re-raise typed
-                    raise BenchmarkError(
-                        f"parallel_map item {i} failed: {exc}") from exc
-                if observed:
-                    value, spans, samples = result
-                    if spans:
-                        tracer.adopt(spans)
-                    if samples:
-                        bus.adopt(samples)
-                    out.append(value)
-                else:
-                    out.append(result)
-            return out
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
     except (OSError, ImportError):
         # Constrained environment (no /dev/shm, sandboxed fork): degrade
-        # gracefully to serial execution with identical results.
+        # gracefully to serial execution with identical results.  No
+        # result was consumed yet, so nothing can be double-adopted.
         return _serial_map(fn, items, tracer)
+    try:
+        out: List[R] = []
+        for i, fut in enumerate(futures):
+            try:
+                result = fut.result()
+            except Exception as exc:  # noqa: BLE001 — re-raise typed
+                raise BenchmarkError(
+                    f"parallel_map item {i} failed: {exc}") from exc
+            if observed:
+                value, spans, samples = result
+                if spans:
+                    tracer.adopt(spans)
+                if samples:
+                    bus.adopt(samples)
+                out.append(value)
+            else:
+                out.append(result)
+        return out
+    finally:
+        pool.shutdown(wait=True)
 
 
 def chunked(seq: Sequence[T], n_chunks: int) -> List[List[T]]:

@@ -26,6 +26,7 @@ from ..errors import BenchmarkError
 from ..io.jsonio import dump_json
 from ..latency.runtime import SimulatedRuntime
 from ..obs import Aggregator, QuantileSketch, TelemetryBus, use_telemetry
+from ..serving import ServingConfig, ServingSimulator
 
 SCHEMA_VERSION = 1
 DEFAULT_OUT_DIR = "bench_trajectory"
@@ -41,6 +42,16 @@ LATENCY_PROBES: Tuple[Tuple[str, str], ...] = (
     ("yolov11-m", "orin-nano"),
     ("yolov11-m", "rtx4090"),
 )
+
+#: Serving probes: the dynamic-batching simulator at 2x overload with
+#: predictive shedding (admitted-request e2e latency, p99-gated) and a
+#: saturated fixed-batch run whose per-frame execution time is the
+#: inverse of serving throughput — so a throughput regression trips the
+#: p99 gate from the correct direction.
+SERVING_MODEL = "yolov8-m"
+SERVING_DEVICE = "rtx4090"
+SERVING_OVERLOAD_STREAMS = 32
+SERVING_FIXED_BATCH = 8
 
 
 def run_suite(n_frames: int = 150, fleet_drones: int = 8,
@@ -65,6 +76,32 @@ def run_suite(n_frames: int = 150, fleet_drones: int = 8,
     fleet = Aggregator(bus).fleet_sketch("e2e", 0.0, windowed=False)
     if fleet is not None and fleet.count:
         suite["fleet/e2e@adaptive"] = fleet.snapshot()
+
+    # Serving probe 1: 2x overload with predictive shedding — the
+    # admitted-request latency tail the deadline SLO is judged on.
+    shed = ServingSimulator(ServingConfig(
+        model=SERVING_MODEL, device=SERVING_DEVICE,
+        num_streams=SERVING_OVERLOAD_STREAMS, policy="full",
+        duration_s=fleet_duration_s)).run()
+    sketch = QuantileSketch()
+    for v in shed.latencies_ms:
+        sketch.observe(float(v))
+    suite[f"serving/e2e@{SERVING_OVERLOAD_STREAMS}x-full"] = \
+        sketch.snapshot()
+
+    # Serving probe 2: saturated fixed-batch per-frame execution time
+    # (ms/frame = 1000 / throughput), one observation per batch.
+    sim = ServingSimulator(ServingConfig(
+        model=SERVING_MODEL, device=SERVING_DEVICE,
+        num_streams=16, policy="none",
+        fixed_batch=SERVING_FIXED_BATCH, queue_capacity=512,
+        duration_s=fleet_duration_s))
+    fixed = sim.run()
+    sketch = QuantileSketch()
+    for b in fixed.batch_sizes:
+        sketch.observe(sim.batch_latency_ms(b) / b)
+    suite[f"serving/per_frame@b{SERVING_FIXED_BATCH}"] = \
+        sketch.snapshot()
     return suite
 
 

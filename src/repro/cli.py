@@ -15,6 +15,12 @@ Commands:
 * ``bench-track`` — run the deterministic probe suite, append a
   ``BENCH_<label>.json`` trajectory point and fail on p99 regression
   against the previous point;
+* ``serve-sim`` — run the dynamic-batching serving simulator
+  (``repro.serving``) for one workload/policy and print the report:
+  admission/shedding breakdown, latency percentiles vs the deadline,
+  batch-size profile, and the cross-check against the analytic
+  ``BatchingModel``; ``--check`` fails the process when invariants or
+  the shedding SLO do not hold (the CI smoke mode);
 * ``report`` — run every fast experiment and print the consolidated
   paper-vs-measured report (what EXPERIMENTS.md is generated from);
 * ``latency <model> <device>`` — one latency estimate with its
@@ -219,6 +225,65 @@ def _cmd_bench_track(args) -> int:
     return 0
 
 
+def _cmd_serve_sim(args) -> int:
+    from .hardware.registry import device_spec
+    from .latency.batching import BatchingModel
+    from .models.spec import model_spec
+    from .serving import ServingConfig, ServingSimulator
+    cfg = ServingConfig(
+        model=args.model, device=args.device,
+        num_streams=args.streams, frame_rate=args.rate,
+        duration_s=args.duration, deadline_ms=args.deadline_ms,
+        queue_capacity=args.queue_capacity, max_batch=args.max_batch,
+        fixed_batch=args.fixed_batch, policy=args.policy,
+        arrival_jitter_ms=args.jitter_ms, seed=args.seed)
+    sim = ServingSimulator(cfg)
+    rep = sim.run()
+    print(f"{cfg.model} on {cfg.device} — {cfg.num_streams} streams "
+          f"x {cfg.frame_rate:g} fps ({cfg.offered_rps:g} rps "
+          f"offered), policy={rep.policy}")
+    print(f"  deadline       : {rep.deadline_ms:8.2f} ms "
+          f"(max batch {rep.max_batch})")
+    print(f"  generated      : {rep.generated:8d}")
+    shed_parts = " ".join(f"{k}={v}" for k, v in
+                          sorted(rep.shed.items()) if v)
+    print(f"  admitted       : {rep.admitted:8d} "
+          f"({100.0 * rep.admitted_fraction:.1f}%)"
+          + (f"  shed: {shed_parts}" if shed_parts else ""))
+    print(f"  completed      : {rep.completed:8d} "
+          f"({rep.violations} past deadline, "
+          f"rate {rep.violation_rate:.4f})")
+    print(f"  latency        : p50 {rep.p50_ms:8.2f} ms   "
+          f"p99 {rep.p99_ms:8.2f} ms")
+    print(f"  throughput     : {rep.throughput_fps:8.1f} fps "
+          f"(utilisation {100.0 * rep.utilisation:.1f}%)")
+    print(f"  mean batch     : {rep.mean_batch:8.2f} frames "
+          f"over {len(rep.batch_sizes)} batches")
+    point = BatchingModel().batch_point(
+        model_spec(cfg.model), device_spec(cfg.device),
+        max(1, round(rep.mean_batch)))
+    print(f"  exec per frame : {rep.exec_per_frame_ms:8.2f} ms "
+          f"(BatchingModel @ b={point.batch}: "
+          f"{point.per_frame_ms:.2f} ms)")
+    if args.check:
+        from .serving import AdmissionPolicy
+        failures = []
+        if not rep.conservation_holds():
+            failures.append("request conservation violated")
+        if cfg.policy in (AdmissionPolicy.DEADLINE,
+                          AdmissionPolicy.FULL) \
+                and rep.violation_rate >= 0.01:
+            failures.append(
+                f"shedding violation rate {rep.violation_rate:.4f} "
+                f">= 0.01")
+        if failures:
+            for f in failures:
+                print(f"CHECK FAILED: {f}", file=sys.stderr)
+            return 1
+        print("checks passed")
+    return 0
+
+
 def _cmd_report(_args) -> int:
     from .core.suite import OcularoneBench
     report = OcularoneBench().run_all()
@@ -322,6 +387,39 @@ def build_parser() -> argparse.ArgumentParser:
     track_p.add_argument("--max-regress-pct", type=float, default=10.0,
                          help="p99 regression tolerance in percent")
 
+    serve_p = sub.add_parser(
+        "serve-sim", help="run the dynamic-batching serving simulator")
+    serve_p.add_argument("--model", default="yolov8-m",
+                         help="served model (default yolov8-m)")
+    serve_p.add_argument("--device", default="rtx4090",
+                         help="serving device (default rtx4090)")
+    serve_p.add_argument("--streams", type=int, default=8,
+                         help="number of drone request streams")
+    serve_p.add_argument("--rate", type=float, default=10.0,
+                         help="requests/s per stream")
+    serve_p.add_argument("--duration", type=float, default=10.0,
+                         help="simulated seconds of arrivals")
+    serve_p.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline "
+                              "(default: one frame period)")
+    serve_p.add_argument("--policy", default="full",
+                         choices=["none", "deadline", "slo", "full"],
+                         help="admission policy (default full)")
+    serve_p.add_argument("--max-batch", type=int, default=None,
+                         help="batch-size cap (default: auto via "
+                              "BatchingModel)")
+    serve_p.add_argument("--fixed-batch", type=int, default=None,
+                         help="force every batch to exactly this size")
+    serve_p.add_argument("--queue-capacity", type=int, default=256,
+                         help="bounded queue capacity")
+    serve_p.add_argument("--jitter-ms", type=float, default=0.0,
+                         help="seeded uniform arrival jitter")
+    serve_p.add_argument("--seed", type=int, default=None,
+                         help="seed for the jitter stream")
+    serve_p.add_argument("--check", action="store_true",
+                         help="exit non-zero when serving invariants "
+                              "fail (CI smoke mode)")
+
     sub.add_parser("report",
                    help="run all fast experiments, print the report")
 
@@ -340,6 +438,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "monitor": _cmd_monitor,
     "bench-track": _cmd_bench_track,
+    "serve-sim": _cmd_serve_sim,
     "report": _cmd_report,
     "latency": _cmd_latency,
     "dataset": _cmd_dataset,

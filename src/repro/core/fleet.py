@@ -107,10 +107,14 @@ class FleetReport:
 class FleetScheduler:
     """Discrete-event fleet simulation with pluggable placement."""
 
-    def __init__(self, config: FleetConfig = FleetConfig(),
+    def __init__(self, config: Optional[FleetConfig] = None,
                  estimator: Optional[LatencyEstimator] = None,
                  surrogate: Optional[AccuracySurrogate] = None) -> None:
-        self.config = config
+        # A fresh config per instance: a shared default instance would
+        # leak state between schedulers if FleetConfig ever grew a
+        # mutable field.
+        self.config = config = \
+            config if config is not None else FleetConfig()
         est = estimator or LatencyEstimator()
         sur = surrogate or AccuracySurrogate()
         self.edge_exec_ms = est.median_ms(config.edge_model,

@@ -107,16 +107,21 @@ class BatchingModel:
         return within one period)."""
         if deadline_ms <= 0:
             raise HardwareError("deadline must be positive")
+        if max_batch < 1:
+            raise HardwareError(
+                f"max_batch must be >= 1, got {max_batch}")
         m = model_spec(model_name)
         d = device_spec(device_name)
         best: Optional[Tuple[int, float]] = None
-        b = 1
-        while b <= max_batch:
+        # Every batch size is probed, not just powers of two: throughput
+        # typically rises monotonically with batch while batch latency
+        # does too, so the optimum is the *largest* feasible batch —
+        # which is usually not a power of two.
+        for b in range(1, max_batch + 1):
             p = self.batch_point(m, d, b)
             if p.batch_latency_ms <= deadline_ms:
                 if best is None or p.throughput_fps > best[1]:
                     best = (b, p.throughput_fps)
-            b *= 2
         if best is None:
             raise HardwareError(
                 f"no batch of {model_name}@{device_name} fits "

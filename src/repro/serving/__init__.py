@@ -1,0 +1,22 @@
+"""Dynamic-batching inference serving on the injected clock.
+
+The serving regime the paper's edge-cloud discussion implies — many
+drone streams sharing one workstation GPU through a deadline-aware
+dynamic micro-batcher — executed as a deterministic discrete-event
+simulation.  See :mod:`repro.serving.simulator` for the event loop,
+:mod:`repro.serving.batcher` for the batching policy and
+:mod:`repro.serving.admission` for backpressure + SLO-burn shedding.
+"""
+
+from .request import Request, ShedReason, generate_arrivals
+from .batcher import MicroBatcher
+from .admission import (AdmissionController, AdmissionPolicy,
+                        serving_slo_policy)
+from .simulator import ServingConfig, ServingReport, ServingSimulator
+
+__all__ = [
+    "Request", "ShedReason", "generate_arrivals",
+    "MicroBatcher",
+    "AdmissionController", "AdmissionPolicy", "serving_slo_policy",
+    "ServingConfig", "ServingReport", "ServingSimulator",
+]

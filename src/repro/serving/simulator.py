@@ -1,0 +1,371 @@
+"""Deterministic discrete-event inference-serving simulator.
+
+The paper's edge-cloud discussion implies an off-board workstation
+amortising inference over batches from many drone streams; this module
+*executes* that regime on the injected simulation clock.  Per-drone
+request streams (:mod:`repro.serving.request`) feed a bounded queue
+managed by a deadline-aware micro-batcher
+(:mod:`repro.serving.batcher`); admission control with backpressure and
+SLO-burn load shedding (:mod:`repro.serving.admission`) guards the
+door; batch execution latency comes from
+:meth:`repro.latency.batching.BatchingModel.batch_point`, so the
+simulation cross-validates the analytic model instead of inventing a
+second one.
+
+Everything is a pure function of :class:`ServingConfig` — the event
+loop has one server, one in-flight batch (no pipelining), a total event
+order, and no wall-clock reads — so reruns are byte-identical and the
+report is golden-pinnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import BenchmarkError, HardwareError
+from ..hardware.device import DeviceSpec
+from ..hardware.registry import device_spec
+from ..latency.batching import BatchingModel
+from ..models.spec import ModelSpec, model_spec
+from ..obs import current_telemetry
+from ..units import fps_to_period_ms
+from .admission import AdmissionController, AdmissionPolicy
+from .batcher import MicroBatcher
+from .request import Request, ShedReason, generate_arrivals
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Workload, deadline, and policy knobs for one serving run."""
+
+    model: str = "yolov8-m"
+    device: str = "rtx4090"
+    num_streams: int = 8
+    frame_rate: float = 10.0          # requests/s per stream
+    duration_s: float = 10.0
+    #: Relative deadline; ``None`` derives one frame period × slack.
+    deadline_ms: Optional[float] = None
+    deadline_slack: float = 1.0
+    queue_capacity: int = 256
+    #: Batch-size cap; ``None`` picks the largest batch whose execution
+    #: fits ``batch_budget_fraction`` of the deadline (the rest is
+    #: queueing headroom), via ``BatchingModel.best_batch_under_deadline``.
+    max_batch: Optional[int] = None
+    batch_budget_fraction: float = 0.5
+    #: Force every batch to exactly this size (cross-validation mode).
+    fixed_batch: Optional[int] = None
+    policy: AdmissionPolicy = AdmissionPolicy.FULL
+    arrival_jitter_ms: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.policy, str):
+            object.__setattr__(self, "policy",
+                               AdmissionPolicy(self.policy))
+        if self.num_streams < 1:
+            raise BenchmarkError("need at least one stream")
+        if self.frame_rate <= 0 or self.duration_s <= 0:
+            raise BenchmarkError("bad workload parameters")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise BenchmarkError("deadline must be positive")
+        if self.deadline_slack <= 0:
+            raise BenchmarkError("deadline slack must be positive")
+        if self.queue_capacity < 1:
+            raise BenchmarkError("queue capacity must be >= 1")
+        if not 0.0 < self.batch_budget_fraction <= 1.0:
+            raise BenchmarkError(
+                "batch budget fraction must be in (0, 1]")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise BenchmarkError("max_batch must be >= 1")
+        if self.fixed_batch is not None and self.fixed_batch < 1:
+            raise BenchmarkError("fixed_batch must be >= 1")
+
+    @property
+    def resolved_deadline_ms(self) -> float:
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        return fps_to_period_ms(self.frame_rate) * self.deadline_slack
+
+    @property
+    def offered_rps(self) -> float:
+        """Offered load in requests per second."""
+        return self.num_streams * self.frame_rate
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one serving simulation (drained to empty)."""
+
+    policy: str
+    model: str
+    device: str
+    deadline_ms: float
+    max_batch: int
+    generated: int = 0
+    admitted: int = 0
+    completed: int = 0
+    violations: int = 0
+    shed: Dict[str, int] = field(default_factory=dict)
+    per_stream_completed: Dict[int, int] = field(default_factory=dict)
+    per_stream_shed: Dict[int, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+    queue_waits_ms: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    busy_ms: float = 0.0
+    makespan_ms: float = 0.0
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def admitted_fraction(self) -> float:
+        return self.admitted / max(self.generated, 1)
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of *admitted* requests finishing past deadline."""
+        if self.completed == 0:
+            raise BenchmarkError("empty serving run")
+        return self.violations / self.completed
+
+    @property
+    def throughput_fps(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return 1000.0 * self.completed / self.makespan_ms
+
+    @property
+    def utilisation(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.busy_ms / self.makespan_ms
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    @property
+    def exec_per_frame_ms(self) -> float:
+        """Measured mean batch-execution time per frame (no queueing)."""
+        frames = sum(self.batch_sizes)
+        return self.busy_ms / frames if frames else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_ms),
+                                   100.0 * q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_quantile(0.99)
+
+    def conservation_holds(self) -> bool:
+        """Request conservation: generated = admitted + shed, and every
+        admitted request completed (the run drains to empty)."""
+        return (self.generated == self.admitted + self.total_shed
+                and self.admitted == self.completed)
+
+    def summary(self) -> Dict:
+        return {
+            "policy": self.policy, "model": self.model,
+            "device": self.device, "deadline_ms": self.deadline_ms,
+            "max_batch": self.max_batch,
+            "generated": self.generated, "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": {k: v for k, v in sorted(self.shed.items())},
+            "admitted_fraction": self.admitted_fraction,
+            "violation_rate": self.violation_rate,
+            "p50_ms": self.p50_ms, "p99_ms": self.p99_ms,
+            "mean_batch": self.mean_batch,
+            "exec_per_frame_ms": self.exec_per_frame_ms,
+            "throughput_fps": self.throughput_fps,
+            "utilisation": self.utilisation,
+        }
+
+
+class ServingSimulator:
+    """Single-server dynamic-batching simulation over drone streams.
+
+    Per-stage telemetry (queue wait, batch size, batch execution,
+    per-request e2e) flows to the ambient
+    :class:`~repro.obs.telemetry.TelemetryBus`; with the default null
+    bus the run is emission-free and byte-identical.
+    """
+
+    def __init__(self, config: Optional[ServingConfig] = None,
+                 batching: Optional[BatchingModel] = None) -> None:
+        self.config = config if config is not None else ServingConfig()
+        self.batching = batching if batching is not None \
+            else BatchingModel()
+        self._model: ModelSpec = model_spec(self.config.model)
+        self._device: DeviceSpec = device_spec(self.config.device)
+        self.deadline_ms = self.config.resolved_deadline_ms
+        self.max_batch = self._resolve_max_batch()
+        self._lat_cache: Dict[int, float] = {}
+
+    def _resolve_max_batch(self) -> int:
+        cfg = self.config
+        if cfg.fixed_batch is not None:
+            return min(cfg.fixed_batch, cfg.queue_capacity)
+        if cfg.max_batch is not None:
+            return min(cfg.max_batch, cfg.queue_capacity)
+        budget = self.deadline_ms * cfg.batch_budget_fraction
+        try:
+            best, _ = self.batching.best_batch_under_deadline(
+                cfg.model, cfg.device, budget,
+                max_batch=min(64, cfg.queue_capacity))
+        except HardwareError:
+            # Even batch 1 misses the budget: serve singles and let
+            # admission shed what cannot make it.
+            best = 1
+        return best
+
+    def batch_latency_ms(self, batch: int) -> float:
+        """Analytic batch execution latency (cached per size)."""
+        out = self._lat_cache.get(batch)
+        if out is None:
+            out = self.batching.batch_point(
+                self._model, self._device, batch).batch_latency_ms
+            self._lat_cache[batch] = out
+        return out
+
+    # -- the event loop ------------------------------------------------------
+
+    def _predicted_done_ms(self, pending: int, free_at_ms: float
+                           ) -> float:
+        """Completion estimate for a request arriving behind ``pending``
+        queued ones, FIFO-approximated into max-size batches.
+
+        The request's own batch is costed at ``max_batch`` even when it
+        is currently partial: under the loads where screening matters
+        the batch fills before dispatch, and costing the partial size
+        systematically under-predicts (admitting requests that then
+        finish a full batch-time late)."""
+        batches_ahead = pending // self.max_batch
+        return free_at_ms + (batches_ahead + 1) \
+            * self.batch_latency_ms(self.max_batch)
+
+    def run(self) -> ServingReport:
+        cfg = self.config
+        bus = current_telemetry()
+        batcher = MicroBatcher(
+            self.max_batch, self.batch_latency_ms,
+            capacity=max(cfg.queue_capacity, self.max_batch),
+            fixed_batch=cfg.fixed_batch)
+        admission = AdmissionController(cfg.policy, batcher,
+                                        self.deadline_ms)
+        arrivals = generate_arrivals(
+            cfg.num_streams, cfg.frame_rate, cfg.duration_s,
+            self.deadline_ms, jitter_ms=cfg.arrival_jitter_ms,
+            seed=cfg.seed)
+        report = ServingReport(
+            policy=cfg.policy.value, model=cfg.model,
+            device=cfg.device, deadline_ms=self.deadline_ms,
+            max_batch=self.max_batch)
+        report.generated = len(arrivals)
+        for stream in range(cfg.num_streams):
+            report.per_stream_completed[stream] = 0
+            report.per_stream_shed[stream] = 0
+        report.shed = {r.value: 0 for r in ShedReason}
+
+        i, n = 0, len(arrivals)
+        now = 0.0
+        last_done = arrivals[0].arrival_ms if arrivals else 0.0
+        #: (completion_ms, dispatched batch, execution_ms) or None.
+        in_flight: Optional[Tuple[float, List[Request], float]] = None
+
+        def dispatch(t: float) -> None:
+            nonlocal in_flight
+            batch = batcher.take_batch()
+            exec_ms = self.batch_latency_ms(len(batch))
+            in_flight = (t + exec_ms, batch, exec_ms)
+            report.batch_sizes.append(len(batch))
+            report.busy_ms += exec_ms
+            for req in batch:
+                wait = t - req.arrival_ms
+                report.queue_waits_ms.append(wait)
+                if bus.enabled:
+                    bus.emit("server", "queue", wait, t / 1000.0)
+            if bus.enabled:
+                bus.emit("server", "batch", float(len(batch)),
+                         t / 1000.0, unit="frames")
+
+        def complete() -> None:
+            nonlocal in_flight, last_done
+            assert in_flight is not None
+            done, batch, exec_ms = in_flight
+            in_flight = None
+            last_done = max(last_done, done)
+            for req in batch:
+                e2e = done - req.arrival_ms
+                report.completed += 1
+                report.per_stream_completed[req.stream] += 1
+                report.latencies_ms.append(e2e)
+                if done > req.deadline_ms:
+                    report.violations += 1
+                admission.observe_completion(e2e, done)
+                if bus.enabled:
+                    bus.emit(f"stream-{req.stream:02d}", "e2e", e2e,
+                             done / 1000.0)
+            if bus.enabled:
+                bus.emit(cfg.device, "exec", exec_ms, done / 1000.0)
+
+        while i < n or in_flight is not None or batcher.pending:
+            t_arr = arrivals[i].arrival_ms if i < n else _INF
+            t_done = in_flight[0] if in_flight is not None else _INF
+            if in_flight is None and batcher.pending:
+                t_disp = max(now, batcher.next_dispatch_ms(
+                    now, draining=i >= n))
+            else:
+                t_disp = _INF
+            t = min(t_done, t_arr, t_disp)
+            now = max(now, t)
+
+            if t_done <= min(t_arr, t_disp):
+                complete()
+                continue
+            if t_arr <= t_disp:
+                req = arrivals[i]
+                i += 1
+                # Slack check *including* the newcomer: if letting it
+                # join would already force the pending batch past its
+                # oldest deadline, close that batch first.
+                if in_flight is None and batcher.pending \
+                        and cfg.fixed_batch is None:
+                    oldest = batcher.oldest()
+                    grown = min(batcher.pending + 1, self.max_batch)
+                    if oldest is not None and oldest.deadline_ms \
+                            - self.batch_latency_ms(grown) < now:
+                        dispatch(now)
+                free_at = in_flight[0] if in_flight is not None else now
+                ok, reason = admission.admit(
+                    req, self._predicted_done_ms(batcher.pending,
+                                                 free_at), now)
+                if ok:
+                    report.admitted += 1
+                    batcher.push(req)
+                else:
+                    report.per_stream_shed[req.stream] += 1
+                continue
+            dispatch(now)
+
+        report.shed = {r.value: c
+                       for r, c in admission.shed_counts.items()}
+        first = arrivals[0].arrival_ms if arrivals else 0.0
+        report.makespan_ms = max(last_done - first, 0.0)
+        return report

@@ -170,6 +170,31 @@ class TestBatching:
         with pytest.raises(HardwareError):
             bm.best_batch_under_deadline("yolov8-x", "xavier-nx", 10.0)
 
+    def test_best_batch_scans_every_size(self, bm):
+        """Regression: the scan must cover *all* feasible batch sizes.
+        Throughput rises with batch, so the optimum is the largest
+        feasible batch — usually not a power of two.  The old
+        powers-of-two scan stopped at 32 here and left ~3 % throughput
+        on the table."""
+        m, d = model_spec("yolov8-n"), device_spec("rtx4090")
+        best, fps = bm.best_batch_under_deadline(
+            "yolov8-n", "rtx4090", 40.0)
+        assert best & (best - 1) != 0  # not a power of two
+        # Strictly better than the best the old pow-2 scan could find.
+        pow2_fps = max(
+            bm.batch_point(m, d, b).throughput_fps
+            for b in (1, 2, 4, 8, 16, 32)
+            if bm.batch_point(m, d, b).batch_latency_ms <= 40.0)
+        assert fps > pow2_fps
+        # And it really is the largest feasible batch.
+        assert bm.batch_point(m, d, best).batch_latency_ms <= 40.0
+        assert bm.batch_point(m, d, best + 1).batch_latency_ms > 40.0
+
+    def test_best_batch_validates_max_batch(self, bm):
+        with pytest.raises(HardwareError):
+            bm.best_batch_under_deadline("yolov8-n", "rtx4090", 40.0,
+                                         max_batch=0)
+
     def test_drones_servable_structure(self, bm):
         wk = bm.drones_servable("yolov8-x", "rtx4090")
         nx = bm.drones_servable("yolov8-n", "xavier-nx")

@@ -26,6 +26,12 @@ class TestFleetConfig:
 
 
 class TestFleetScheduler:
+    def test_config_defaults_when_omitted(self):
+        sched = FleetScheduler()
+        assert sched.config.num_drones == FleetConfig().num_drones
+        explicit = FleetScheduler(config=None)
+        assert explicit.config.duration_s == FleetConfig().duration_s
+
     def test_small_fleet_all_policies_clean(self):
         sched = FleetScheduler(FleetConfig(num_drones=2))
         for policy in SchedulingPolicy:

@@ -1,0 +1,127 @@
+"""Regression tests for parallel_map's fallback scope and worker sizing.
+
+The serial fallback exists for constrained platforms where the process
+pool cannot even be *created* (no ``/dev/shm``, sandboxed fork).  It
+must never trigger while results are being consumed: by then worker
+spans/telemetry may already have been adopted into the parent, and a
+serial rerun would execute every item a second time and double-count
+its observations.
+"""
+
+import os
+
+import pytest
+
+import repro.bench.parallel as parallel_mod
+from repro.bench.parallel import default_workers, parallel_map
+from repro.errors import BenchmarkError
+from repro.obs import TelemetryBus, TelemetrySample, use_telemetry
+
+
+def _double(x):
+    return 2 * x
+
+
+ITEMS = list(range(8))  # above MIN_PARALLEL_ITEMS so the pool engages
+
+
+class _FakeFuture:
+    def __init__(self, outcome, error=None):
+        self._outcome = outcome
+        self._error = error
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+
+class _FakePool:
+    """Pool whose futures succeed until ``fail_at``, then raise OSError.
+
+    Successful futures return the ``(value, spans, samples)`` triple an
+    observed worker would, with one telemetry sample each — so the
+    consumption loop adopts real state before hitting the failure.
+    """
+
+    fail_at = 4
+
+    def __init__(self, max_workers=None):
+        self._submitted = 0
+
+    def submit(self, task, item):
+        i = self._submitted
+        self._submitted += 1
+        if i >= self.fail_at:
+            return _FakeFuture(None, error=OSError("worker lost"))
+        sample = TelemetrySample("worker", "item", float(i), t_s=0.0)
+        return _FakeFuture((_double(item), [], [sample]))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class _UncreatablePool:
+    def __init__(self, max_workers=None):
+        raise OSError("no /dev/shm")
+
+
+class TestFallbackScope:
+    def test_consumption_failure_raises_not_reruns(self, monkeypatch):
+        """OSError from ``fut.result()`` after partial adoption must
+        surface as BenchmarkError — the old code's blanket except
+        silently reran everything serially, double-adopting the
+        already-consumed workers' telemetry."""
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor",
+                            _FakePool)
+        bus = TelemetryBus()
+        with use_telemetry(bus):
+            with pytest.raises(BenchmarkError,
+                               match="item 4 failed"):
+                parallel_map(_double, ITEMS, workers=2)
+        # Exactly the successfully-consumed workers' samples — nothing
+        # double-counted by a serial rerun.
+        assert len(bus.samples) == _FakePool.fail_at
+        sketch = bus.cumulative_sketch("worker", "item")
+        assert sketch is not None
+        assert sketch.count == _FakePool.fail_at
+
+    def test_pool_creation_failure_degrades_to_serial(self,
+                                                      monkeypatch):
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor",
+                            _UncreatablePool)
+        assert parallel_map(_double, ITEMS) == [2 * x for x in ITEMS]
+
+    def test_worker_exception_is_wrapped_not_swallowed(self,
+                                                       monkeypatch):
+        class _Pool(_FakePool):
+            fail_at = 0
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _Pool)
+        with pytest.raises(BenchmarkError, match="item 0 failed"):
+            parallel_map(_double, ITEMS, workers=2)
+
+
+class TestDefaultWorkers:
+    def test_prefers_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(range(4)), raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_workers() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        def _boom(pid):
+            raise AttributeError("not on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", _boom,
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_workers() == 4
+
+    def test_floor_and_cap(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0}, raising=False)
+        assert default_workers() == 1
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(range(32)), raising=False)
+        assert default_workers() == 8
