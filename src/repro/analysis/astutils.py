@@ -1,0 +1,131 @@
+"""Shared AST helpers for reprolint rules.
+
+The determinism rules all need the same three primitives:
+
+* resolve a call target to a *qualified* dotted name, following the
+  module's import aliases (``import numpy as np`` makes
+  ``np.random.rand`` resolve to ``numpy.random.rand``; ``from time
+  import perf_counter as pc`` makes ``pc`` resolve to
+  ``time.perf_counter``);
+* walk upwards (a parent map — :mod:`ast` only links downwards);
+* iterate nodes with position info.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Type, Union
+
+#: ``isinstance``-style node-type filter.
+NodeTypes = Union[Type[ast.AST], Tuple[Type[ast.AST], ...]]
+
+
+def build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node to its syntactic parent."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name → fully-qualified module/attribute path.
+
+    Covers ``import x``, ``import x.y``, ``import x as a`` and
+    ``from x import y [as a]``.  Star imports are ignored (nothing to
+    resolve deterministically).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports stay package-local
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def qualified_call_name(call: ast.Call,
+                        aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a call's target through the module's import aliases.
+
+    Returns ``None`` for calls whose target is not a plain dotted name
+    (lambdas, subscripts, call results).
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    if head in aliases:
+        resolved = aliases[head]
+        return f"{resolved}.{rest}" if rest else resolved
+    return name
+
+
+def enclosing_call(node: ast.AST,
+                   parents: Dict[ast.AST, ast.AST]
+                   ) -> Optional[ast.Call]:
+    """The nearest Call this node is a *direct argument* of, if any.
+
+    ``sorted(glob.glob(p))`` → the inner call's enclosing call is
+    ``sorted(...)``.  Stops at the first non-expression ancestor so a
+    call used as a statement is not attributed to an outer call.
+    """
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and (
+            node in parent.args
+            or any(node is kw.value for kw in parent.keywords)):
+        return parent
+    if isinstance(parent, (ast.Starred, ast.GeneratorExp)):
+        return enclosing_call(parent, parents)
+    return None
+
+
+def walk_positioned(tree: ast.AST) -> Iterator[ast.AST]:
+    """All nodes that carry a line/col position."""
+    for node in ast.walk(tree):
+        if hasattr(node, "lineno"):
+            yield node
+
+
+def handler_has_raise(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body re-raises (any ``raise``), excluding
+    raises buried in nested function/class definitions."""
+    return _contains(handler.body, ast.Raise)
+
+
+def _contains(body: Sequence[ast.stmt], node_type: NodeTypes) -> bool:
+    return any(_node_contains(stmt, node_type) for stmt in body)
+
+
+def _node_contains(node: ast.AST, node_type: NodeTypes) -> bool:
+    """Depth-first search that does not descend into nested defs."""
+    if isinstance(node, node_type):
+        return True
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda, ast.ClassDef)):
+        return False
+    return any(_node_contains(child, node_type)
+               for child in ast.iter_child_nodes(node))

@@ -1,0 +1,316 @@
+"""Determinism rules (RL001–RL005): single-file AST checks.
+
+These encode the repository's reproducibility contract — every
+experiment must produce byte-identical output under the injected clock
+and seeded RNG (see ``tests/golden``).  The golden tests catch drift
+*dynamically*; these rules catch the usual causes *statically*, before
+a rerun is ever needed:
+
+========  ==========================================================
+RL001     wall-clock reads outside the two blessed timing sites
+RL002     ambient randomness instead of :mod:`repro.rng` streams
+RL003     unordered filesystem/set iteration feeding output
+RL004     mutable default arguments (cross-call state leaks)
+RL005     ``except Exception`` that swallows errors silently
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from .astutils import (build_parent_map, dotted_name, enclosing_call,
+                       handler_has_raise, import_aliases,
+                       qualified_call_name)
+from .rules import Rule, Severity, SourceFile, Violation, register
+
+
+def _allowlisted(path: str, suffixes: Tuple[str, ...]) -> bool:
+    """True when the (posix-normalised) path ends with any suffix."""
+    norm = path.replace("\\", "/")
+    return any(norm.endswith(suffix) for suffix in suffixes)
+
+
+@register
+class WallClockRule(Rule):
+    """RL001 — no wall-clock reads outside the blessed timing sites.
+
+    Experiment output must be a pure function of (seed, config): a
+    ``time.time()`` in a hot path leaks the host's clock into reports
+    and breaks byte-identical reruns.  Real timing belongs to the span
+    tracer's injected clock; the only legitimate raw reads are the
+    tracer's epoch rebase and the runner's elapsed-time bookkeeping.
+    """
+
+    rule_id = "RL001"
+    title = "wall-clock read outside allowlist"
+    rationale = ("wall-clock reads make output depend on the host "
+                 "clock; use the injected tracer clock")
+
+    #: Files whose job is real timing (suffix-matched).
+    allowlist: Tuple[str, ...] = ("obs/tracer.py", "bench/runner.py")
+
+    #: Qualified call targets that read the host clock.
+    clock_calls = frozenset({
+        "time.time", "time.time_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.localtime", "time.gmtime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        if _allowlisted(src.path, self.allowlist):
+            return
+        aliases = import_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = qualified_call_name(node, aliases)
+            if name in self.clock_calls:
+                yield self.violation(
+                    src.path, node.lineno, node.col_offset,
+                    f"wall-clock call {name}() outside the timing "
+                    f"allowlist; route timing through the injected "
+                    f"tracer clock (repro.obs)")
+
+
+@register
+class AmbientRandomnessRule(Rule):
+    """RL002 — all randomness must flow through :mod:`repro.rng`.
+
+    The stdlib ``random`` module and numpy's legacy global
+    (``np.random.rand`` & co.) are ambient mutable state: any draw
+    anywhere perturbs every later draw, so adding one sample to one
+    subsystem reshuffles another ("spooky action").  ``repro.rng``
+    hands out named, independently-seeded streams instead.
+    """
+
+    rule_id = "RL002"
+    title = "ambient randomness (random.* / legacy np.random.*)"
+    rationale = ("global RNG state breaks stream independence; draw "
+                 "from repro.rng.make_rng(seed, *stream) instead")
+
+    #: The stream factory itself may touch numpy's seeding machinery.
+    allowlist: Tuple[str, ...] = ("repro/rng.py",)
+
+    #: numpy.random attributes that are explicit-seed constructors,
+    #: not draws from the legacy global state.
+    seeded_constructors = frozenset({
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        if _allowlisted(src.path, self.allowlist):
+            return
+        aliases = import_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = qualified_call_name(node, aliases)
+            if name is None:
+                continue
+            if name.startswith("random."):
+                yield self.violation(
+                    src.path, node.lineno, node.col_offset,
+                    f"stdlib {name}() draws from the shared global "
+                    f"RNG; use repro.rng.make_rng(seed, *stream)")
+            elif name.startswith("numpy.random."):
+                attr = name.rsplit(".", 1)[-1]
+                if attr not in self.seeded_constructors:
+                    yield self.violation(
+                        src.path, node.lineno, node.col_offset,
+                        f"legacy numpy global RNG call {name}(); "
+                        f"use repro.rng.make_rng(seed, *stream)")
+
+
+@register
+class UnsortedIterationRule(Rule):
+    """RL003 — order-less producers must be ``sorted()`` before use.
+
+    ``os.listdir``/``glob`` order is filesystem-dependent and set
+    iteration order hash-dependent; either one feeding a report, a
+    golden JSON or a serialized artifact makes reruns differ across
+    machines.  Wrapping in ``sorted()`` (or an order-insensitive
+    reducer) restores determinism.
+    """
+
+    rule_id = "RL003"
+    title = "unsorted filesystem/set iteration"
+    rationale = ("listdir/glob/set order varies across hosts and "
+                 "hash seeds; wrap in sorted() before it reaches "
+                 "output")
+
+    #: Calls whose result order is not deterministic.
+    unordered_producers = frozenset({
+        "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+    })
+
+    #: Consumers that are insensitive to their argument's order.
+    order_insensitive = frozenset({
+        "sorted", "len", "set", "frozenset", "sum", "min", "max",
+        "any", "all",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        aliases = import_aliases(src.tree)
+        parents = build_parent_map(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                name = qualified_call_name(node, aliases)
+                if name in self.unordered_producers and \
+                        not self._consumed_safely(node, parents,
+                                                  aliases):
+                    yield self.violation(
+                        src.path, node.lineno, node.col_offset,
+                        f"{name}() order is filesystem-dependent; "
+                        f"wrap it in sorted()")
+            iterated = self._set_iteration(node, aliases)
+            if iterated is not None:
+                yield self.violation(
+                    src.path, iterated.lineno, iterated.col_offset,
+                    "iterating a set: order depends on the hash "
+                    "seed; iterate sorted(<set>) instead")
+
+    def _consumed_safely(self, call: ast.Call,
+                         parents: Dict[ast.AST, ast.AST],
+                         aliases: Dict[str, str]) -> bool:
+        outer = enclosing_call(call, parents)
+        if outer is None:
+            return False
+        outer_name = qualified_call_name(outer, aliases)
+        return outer_name in self.order_insensitive
+
+    def _set_iteration(self, node: ast.AST,
+                       aliases: Dict[str, str]
+                       ) -> Optional[ast.expr]:
+        """The iterable if this node loops directly over a set."""
+        if isinstance(node, ast.For):
+            candidates = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            candidates = [gen.iter for gen in node.generators]
+        else:
+            return None
+        for it in candidates:
+            if isinstance(it, (ast.Set, ast.SetComp)):
+                return it
+            if isinstance(it, ast.Call) and \
+                    qualified_call_name(it, aliases) in (
+                        "set", "frozenset"):
+                return it
+        return None
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL004 — no mutable default arguments.
+
+    A ``def f(x, acc=[])`` default is created once and shared across
+    calls: state leaks between supposedly independent experiment runs,
+    which is exactly the cross-run coupling the golden harness exists
+    to rule out.
+    """
+
+    rule_id = "RL004"
+    title = "mutable default argument"
+    rationale = ("default values are evaluated once and shared; "
+                 "use None and construct inside the function")
+    severity = Severity.WARNING
+
+    mutable_factories = frozenset({
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.OrderedDict",
+        "collections.deque", "collections.Counter",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        aliases = import_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default, aliases):
+                    yield self.violation(
+                        src.path, default.lineno, default.col_offset,
+                        f"mutable default argument in {node.name}(); "
+                        f"default to None and build it inside")
+
+    def _is_mutable(self, node: ast.AST,
+                    aliases: Dict[str, str]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return qualified_call_name(node, aliases) in \
+                self.mutable_factories
+        return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RL005 — ``except Exception`` must re-raise or record a fault.
+
+    An overbroad handler that neither re-raises nor records anything
+    silently eats :class:`~repro.errors.BenchmarkError` (a harness
+    bug) along with the fault it meant to tolerate — runs "succeed"
+    with wrong numbers.  Tolerating faults is fine, but only visibly:
+    re-raise a typed error, or record a fault event / metric inside
+    the handler.
+    """
+
+    rule_id = "RL005"
+    title = "except Exception swallows errors silently"
+    rationale = ("broad handlers hide harness errors inside 'passing' "
+                 "runs; re-raise typed or record a fault event")
+
+    broad_names = frozenset({"Exception", "BaseException"})
+
+    #: Method names that count as recording the failure.
+    recording_calls = frozenset({
+        "event", "record", "record_fault", "inc", "observe",
+        "warning", "error", "exception", "critical", "log", "emit",
+    })
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if handler_has_raise(node):
+                continue
+            if self._records_fault(node):
+                continue
+            yield self.violation(
+                src.path, node.lineno, node.col_offset,
+                "except Exception without re-raise or fault "
+                "recording silently swallows BenchmarkError; "
+                "re-raise typed or record a fault event")
+
+    def _is_broad(self, type_node: Optional[ast.AST]) -> bool:
+        if type_node is None:  # bare except:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        name = dotted_name(type_node)
+        return name is not None and \
+            name.rsplit(".", 1)[-1] in self.broad_names
+
+    def _records_fault(self, handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name is not None and \
+                            name.rsplit(".", 1)[-1] in \
+                            self.recording_calls:
+                        return True
+        return False

@@ -1,0 +1,172 @@
+"""The reprolint engine: collect files, run rules, apply suppressions.
+
+The engine itself must satisfy the contract it enforces: directory
+walks are sorted, output ordering is total (path, line, col, rule id)
+and nothing reads the clock — ``repro lint`` on an unchanged tree is
+byte-identical across machines and hash seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .rules import (RepoContext, Rule, Severity, SourceFile, Violation,
+                    all_rules)
+from .suppress import (BAD_SUPPRESSION_ID, SuppressionIndex,
+                       parse_suppressions)
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules",
+                       "build", "dist", ".mypy_cache",
+                       ".pytest_cache"})
+
+
+@dataclass
+class LintConfig:
+    """What to lint and how hard to fail."""
+
+    paths: Sequence[str] = ("src",)
+    strict: bool = False
+    select: Optional[List[str]] = None
+    root: Optional[str] = None  # repo root; auto-detected if None
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter needs."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    strict: bool = False
+    paths: List[str] = field(default_factory=list)
+    root: str = "."
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations
+                if v.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations
+                if v.severity is Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean; 1 when failures exist (warnings fail in strict)."""
+        if self.errors:
+            return 1
+        if self.strict and self.warnings:
+            return 1
+        return 0
+
+
+def find_repo_root(start: str) -> str:
+    """Nearest ancestor holding ``pyproject.toml`` (or ``.git``)."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        if os.path.isfile(os.path.join(current, "pyproject.toml")) or \
+                os.path.isdir(os.path.join(current, ".git")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return os.path.abspath(start if os.path.isdir(start)
+                                   else os.path.dirname(start))
+        current = parent
+
+
+def collect_py_files(paths: Sequence[str]) -> List[str]:
+    """Absolute paths of every ``.py`` under ``paths``, sorted."""
+    out: List[str] = []
+    for path in paths:
+        apath = os.path.abspath(path)
+        if os.path.isfile(apath):
+            if apath.endswith(".py"):
+                out.append(apath)
+            continue
+        if not os.path.isdir(apath):
+            raise ConfigError(f"lint path does not exist: {path}")
+        for dirpath, dirnames, filenames in os.walk(apath):
+            # os.walk order is pinned by sorting dirnames in place.
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in SKIP_DIRS
+                                 and not d.startswith("."))
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    out.append(os.path.join(dirpath, fname))
+    return sorted(set(out))
+
+
+class Linter:
+    """Run the registered rules over a set of paths."""
+
+    def __init__(self, config: Optional[LintConfig] = None) -> None:
+        self.config = config or LintConfig()
+        self.rules: List[Rule] = all_rules(self.config.select)
+
+    def run(self) -> LintResult:
+        cfg = self.config
+        if not cfg.paths:
+            raise ConfigError("no lint paths given")
+        files = collect_py_files(cfg.paths)
+        root = cfg.root or find_repo_root(
+            os.path.abspath(list(cfg.paths)[0]))
+        result = LintResult(strict=cfg.strict,
+                            paths=[str(p) for p in cfg.paths],
+                            root=root)
+        sources: Dict[str, SourceFile] = {}
+        indices: Dict[str, SuppressionIndex] = {}
+        raw: List[Violation] = []
+
+        for path in files:
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            index = parse_suppressions(rel, text)
+            indices[rel] = index
+            raw.extend(index.problems)
+            try:
+                tree = ast.parse(text, filename=rel)
+            except SyntaxError as exc:
+                raw.append(Violation(
+                    BAD_SUPPRESSION_ID, Severity.ERROR, rel,
+                    exc.lineno or 1, exc.offset or 0,
+                    f"file does not parse: {exc.msg}"))
+                continue
+            src = SourceFile(path=rel, source=text, tree=tree)
+            sources[rel] = src
+            result.files_checked += 1
+            for rule in self.rules:
+                if rule.scope == "file":
+                    raw.extend(rule.check_file(src))
+
+        ctx = RepoContext(root=root, files=sources)
+        for rule in self.rules:
+            if rule.scope == "repo":
+                raw.extend(rule.check_repo(ctx))
+
+        for violation in raw:
+            index = indices.get(violation.path)
+            if violation.rule_id != BAD_SUPPRESSION_ID and \
+                    index is not None and index.is_suppressed(
+                        violation.rule_id, violation.line):
+                result.suppressed += 1
+                continue
+            result.violations.append(violation)
+        result.violations.sort(key=Violation.sort_key)
+        return result
+
+
+def lint_paths(paths: Sequence[str], *, strict: bool = False,
+               select: Optional[List[str]] = None,
+               root: Optional[str] = None) -> LintResult:
+    """Convenience wrapper: configure, run, return the result."""
+    return Linter(LintConfig(paths=list(paths), strict=strict,
+                             select=select, root=root)).run()

@@ -1,0 +1,78 @@
+"""Reporters for lint results: human text and machine JSON.
+
+Both renderings are deterministic functions of the
+:class:`~repro.analysis.engine.LintResult` — violations arrive
+pre-sorted by (path, line, col, rule) and the JSON uses sorted keys —
+so CI artifacts diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import LintResult
+from .rules import Severity, all_rules
+
+#: Bumped when the JSON layout changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """flake8-style listing plus a one-line summary."""
+    lines: List[str] = []
+    for v in result.violations:
+        lines.append(f"{v.path}:{v.line}:{v.col}: {v.rule_id} "
+                     f"[{v.severity.value}] {v.message}")
+    n_err, n_warn = len(result.errors), len(result.warnings)
+    summary = (f"{result.files_checked} files checked: "
+               f"{n_err} error(s), {n_warn} warning(s), "
+               f"{result.suppressed} suppressed")
+    if result.strict:
+        summary += " [strict]"
+    if not result.violations:
+        summary = "clean — " + summary
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The CI artifact: schema-versioned, sorted-key JSON."""
+    return json.dumps(to_json_dict(result), indent=2, sort_keys=True)
+
+
+def to_json_dict(result: LintResult) -> Dict[str, object]:
+    """The JSON report as a plain dict (what the schema test pins)."""
+    rules = [{
+        "id": rule.rule_id,
+        "title": rule.title,
+        "severity": rule.severity.value,
+        "scope": rule.scope,
+    } for rule in all_rules()]
+    return {
+        "tool": "reprolint",
+        "schema_version": JSON_SCHEMA_VERSION,
+        "strict": result.strict,
+        "paths": list(result.paths),
+        "files_checked": result.files_checked,
+        "rules": rules,
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "suppressed": result.suppressed,
+            "exit_code": result.exit_code,
+        },
+        "violations": [v.to_dict() for v in result.violations],
+    }
+
+
+def severity_counts(result: LintResult) -> Dict[str, int]:
+    """``{rule_id: count}`` over the surviving violations."""
+    counts: Dict[str, int] = {}
+    for v in result.violations:
+        counts[v.rule_id] = counts.get(v.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json",
+           "to_json_dict", "severity_counts", "Severity"]

@@ -1,0 +1,131 @@
+"""Suppression comments: ``# reprolint: disable=RL00x <reason>``.
+
+Two scopes:
+
+* **line** — ``# reprolint: disable=RL001 <reason>`` trailing the
+  offending physical line (or alone on the line directly above it)
+  suppresses the listed rules on that line only;
+* **file** — ``# reprolint: disable-file=RL001 <reason>`` on a line of
+  its own suppresses the listed rules for the whole module (the
+  allowlist escape hatch for files whose *job* is e.g. wall-clock).
+
+Multiple ids separate with commas: ``disable=RL001,RL003``.  The
+reason is **mandatory** — a suppression that does not say why it is
+safe is itself reported (rule ``RL000``), so the audit trail the
+golden tests used to provide survives in the source.
+
+Comments are found with :mod:`tokenize`, so the marker inside a string
+literal never counts.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .rules import Severity, Violation
+
+#: Reserved id for malformed suppression comments.
+BAD_SUPPRESSION_ID = "RL000"
+
+_MARKER = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s]*?)(?:\s+(?P<reason>\S.*))?$")
+
+_ID_FORM = re.compile(r"^RL\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+    file_scope: bool
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions in one module, plus malformed-marker reports."""
+
+    path: str
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+    suppressions: List[Suppression] = field(default_factory=list)
+    problems: List[Violation] = field(default_factory=list)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is silenced at ``line`` in this file."""
+        if rule_id in self.file_wide:
+            return True
+        return rule_id in self.by_line.get(line, ())
+
+
+def parse_suppressions(path: str, source: str) -> SuppressionIndex:
+    """Scan a module's comments for reprolint markers."""
+    index = SuppressionIndex(path=path)
+    for line, text, standalone in _comments(source):
+        if "reprolint" not in text:
+            continue
+        match = _MARKER.search(text)
+        if match is None:
+            index.problems.append(_problem(
+                path, line, f"unparseable reprolint marker: {text!r} "
+                "(expected '# reprolint: disable=RL0xx <reason>')"))
+            continue
+        ids = tuple(part.strip() for part in
+                    match.group("ids").split(",") if part.strip())
+        reason = (match.group("reason") or "").strip()
+        bad_ids = [rid for rid in ids if not _ID_FORM.match(rid)]
+        if not ids or bad_ids:
+            index.problems.append(_problem(
+                path, line,
+                f"suppression with missing/malformed rule id(s) "
+                f"{bad_ids or '(none)'} in {text!r}"))
+            continue
+        if not reason:
+            index.problems.append(_problem(
+                path, line,
+                f"suppression of {', '.join(ids)} without a reason — "
+                "say why the violation is safe"))
+            continue
+        file_scope = match.group("kind") == "disable-file"
+        index.suppressions.append(
+            Suppression(line, ids, reason, file_scope))
+        if file_scope:
+            index.file_wide.update(ids)
+        else:
+            # A trailing comment covers its own line; a comment alone
+            # on a line covers the *next* line (disable-next-line
+            # style), so suppressions fit within the line limit.
+            target = line + 1 if standalone else line
+            index.by_line.setdefault(target, set()).update(ids)
+    return index
+
+
+def _comments(source: str) -> List[Tuple[int, str, bool]]:
+    """(line, comment-text, standalone) triples via tokenize.
+
+    ``standalone`` is True when the comment is the only thing on its
+    physical line.  Returns what was scanned so far if the source is
+    untokenizable (the engine reports the syntax error separately).
+    """
+    out: List[Tuple[int, str, bool]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                standalone = tok.line[:tok.start[1]].strip() == ""
+                out.append((tok.start[0], tok.string, standalone))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    return out
+
+
+def _problem(path: str, line: int, message: str) -> Violation:
+    return Violation(BAD_SUPPRESSION_ID, Severity.ERROR, path, line, 0,
+                     message)

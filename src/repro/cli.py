@@ -21,6 +21,11 @@ Commands:
   batch-size profile, and the cross-check against the analytic
   ``BatchingModel``; ``--check`` fails the process when invariants or
   the shedding SLO do not hold (the CI smoke mode);
+* ``lint`` — reprolint: AST-based determinism rules (wall-clock,
+  ambient RNG, unsorted iteration, mutable defaults, swallowed
+  exceptions) plus repo-contract rules (experiment↔golden↔docs
+  coverage, CLI↔README coverage, metric naming); ``--strict`` fails
+  on warnings, ``--json`` emits the machine report CI archives;
 * ``report`` — run every fast experiment and print the consolidated
   paper-vs-measured report (what EXPERIMENTS.md is generated from);
 * ``latency <model> <device>`` — one latency estimate with its
@@ -284,6 +289,18 @@ def _cmd_serve_sim(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_paths, render_json, render_text
+    result = lint_paths(args.paths, strict=args.strict,
+                        select=args.select.split(",")
+                        if args.select else None)
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def _cmd_report(_args) -> int:
     from .core.suite import OcularoneBench
     report = OcularoneBench().run_all()
@@ -420,6 +437,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero when serving invariants "
                               "fail (CI smoke mode)")
 
+    lint_p = sub.add_parser(
+        "lint", help="reprolint: determinism & repo-contract static "
+                     "analysis")
+    lint_p.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default src)")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="warnings also fail the lint (CI mode)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="print the machine-readable JSON report")
+    lint_p.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+
     sub.add_parser("report",
                    help="run all fast experiments, print the report")
 
@@ -439,6 +469,7 @@ _HANDLERS = {
     "monitor": _cmd_monitor,
     "bench-track": _cmd_bench_track,
     "serve-sim": _cmd_serve_sim,
+    "lint": _cmd_lint,
     "report": _cmd_report,
     "latency": _cmd_latency,
     "dataset": _cmd_dataset,
@@ -450,6 +481,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bench-track" and args.label is None:
         import datetime
+        # reprolint: disable=RL001 bench-track labels are calendar dates
         args.label = datetime.date.today().isoformat()
     try:
         return _HANDLERS[args.command](args)

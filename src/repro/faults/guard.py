@@ -209,7 +209,14 @@ class StageExecutor:
             if not crashed:
                 try:
                     value = fn()
-                except Exception:
+                except Exception as exc:
+                    # Stage exceptions become recorded crash faults
+                    # handled by the retry ladder below — but never
+                    # silently: the event carries the error type so a
+                    # swallowed BenchmarkError is visible in traces.
+                    tracer.event("stage_exception", stage=stage,
+                                 frame=frame_index,
+                                 error=type(exc).__name__)
                     crashed = True
             if crashed:
                 cost += attempt_cost * res.retry_cost_factor

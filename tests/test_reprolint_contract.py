@@ -1,0 +1,199 @@
+"""Repo-contract rule tests (RL101–RL103) against a miniature repo.
+
+A synthetic repository — registry, experiment module, goldens,
+EXPERIMENTS.md, cli.py, README.md — is materialised in ``tmp_path``;
+each test then breaks exactly one artifact and asserts the matching
+rule (and only it) fires.  This is the static mirror of the
+acceptance criterion: *deleting a golden JSON makes the lint exit
+non-zero with the correct rule id*.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_paths
+
+REGISTRY = '''
+from . import exp_alpha, exp_beta
+
+FAST_EXPERIMENTS = {
+    "exp_alpha": exp_alpha.run,
+}
+
+SLOW_EXPERIMENTS = {
+    "exp_beta": exp_beta.run,
+}
+'''
+
+EXPERIMENT = '''
+def run():
+    claims = {"latency is finite": True}
+    return Result(claims=claims)
+'''
+
+EXPERIMENT_NO_CLAIMS = '''
+def run():
+    return Result(claims={})
+'''
+
+CLI = '''
+def build_parser(sub):
+    sub.add_parser("run", help="run")
+    sub.add_parser("lint", help="lint")
+'''
+
+README = """
+Usage: repro run <id> and repro lint [--strict].
+"""
+
+EXPERIMENTS_MD = """
+## exp_alpha results
+## exp_beta results
+"""
+
+METRICS_USER = '''
+def instrument(metrics, bus):
+    metrics.counter("guard.retries").inc()
+    metrics.histogram("pipeline.latency_ms", ())
+    bus.emit("drone-00", "e2e", 1.0, 0.0)
+'''
+
+
+def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
+               no_claims=False, undocumented_cli=False,
+               metrics_src=METRICS_USER):
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    pkg = tmp_path / "src" / "repro"
+    exp = pkg / "bench" / "experiments"
+    exp.mkdir(parents=True)
+    (exp / "registry.py").write_text(textwrap.dedent(REGISTRY))
+    (exp / "exp_alpha.py").write_text(textwrap.dedent(
+        EXPERIMENT_NO_CLAIMS if no_claims else EXPERIMENT))
+    (exp / "exp_beta.py").write_text(textwrap.dedent(EXPERIMENT))
+    cli = textwrap.dedent(CLI)
+    if undocumented_cli:
+        cli += '    sub.add_parser("hidden", help="oops")\n'
+    (pkg / "cli.py").write_text(cli)
+    (pkg / "metrics_user.py").write_text(textwrap.dedent(metrics_src))
+    golden = tmp_path / "tests" / "golden"
+    golden.mkdir(parents=True)
+    if not drop_golden:
+        (golden / "exp_alpha.json").write_text("{}")
+    (tmp_path / "README.md").write_text(README)
+    if not drop_docs:
+        (tmp_path / "EXPERIMENTS.md").write_text(EXPERIMENTS_MD)
+    else:
+        (tmp_path / "EXPERIMENTS.md").write_text("# empty\n")
+    return tmp_path
+
+
+def contract_lint(root):
+    return lint_paths([str(root / "src")], strict=True,
+                      select=["RL101", "RL102", "RL103"],
+                      root=str(root))
+
+
+class TestExperimentArtifacts:
+    def test_consistent_repo_is_clean(self, tmp_path):
+        root = build_repo(tmp_path)
+        assert contract_lint(root).violations == []
+
+    def test_deleted_golden_fires_rl101(self, tmp_path):
+        root = build_repo(tmp_path, drop_golden=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL101"]
+        assert "exp_alpha" in res.violations[0].message
+        assert "golden" in res.violations[0].message
+        assert res.exit_code == 1
+
+    def test_slow_experiments_need_no_golden(self, tmp_path):
+        # exp_beta is slow and has no golden — and that is fine.
+        root = build_repo(tmp_path)
+        res = contract_lint(root)
+        assert all("exp_beta" not in v.message
+                   for v in res.violations)
+
+    def test_missing_docs_entry_fires_rl101(self, tmp_path):
+        root = build_repo(tmp_path, drop_docs=True)
+        res = contract_lint(root)
+        ids = [v.rule_id for v in res.violations]
+        assert ids == ["RL101", "RL101"]  # both experiments undocced
+        assert all("EXPERIMENTS.md" in v.message
+                   for v in res.violations)
+
+    def test_empty_claims_fires_rl101(self, tmp_path):
+        root = build_repo(tmp_path, no_claims=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL101"]
+        assert "machine-checked" in res.violations[0].message
+
+
+class TestCliDocumented:
+    def test_undocumented_subcommand_fires_rl102(self, tmp_path):
+        root = build_repo(tmp_path, undocumented_cli=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL102"]
+        assert "'hidden'" in res.violations[0].message
+
+    def test_documented_subcommands_pass(self, tmp_path):
+        root = build_repo(tmp_path)
+        assert contract_lint(root).violations == []
+
+
+class TestTelemetryNaming:
+    def test_undotted_metric_fires_rl103(self, tmp_path):
+        root = build_repo(tmp_path, metrics_src='''
+            def instrument(metrics):
+                metrics.counter("retries").inc()
+            ''')
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL103"]
+        assert "stage.metric" in res.violations[0].message
+
+    def test_uppercase_metric_fires_rl103(self, tmp_path):
+        root = build_repo(tmp_path, metrics_src='''
+            def instrument(metrics):
+                metrics.gauge("Guard.Retries")
+            ''')
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL103"]
+
+    def test_kind_collision_fires_rl103(self, tmp_path):
+        root = build_repo(tmp_path, metrics_src='''
+            def instrument(metrics):
+                metrics.counter("guard.retries").inc()
+                metrics.histogram("guard.retries", ())
+            ''')
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL103"]
+        assert "counter" in res.violations[0].message
+
+    def test_same_kind_reuse_allowed(self, tmp_path):
+        root = build_repo(tmp_path, metrics_src='''
+            def a(metrics):
+                metrics.counter("guard.retries").inc()
+            def b(metrics):
+                metrics.counter("guard.retries").inc()
+            ''')
+        assert contract_lint(root).violations == []
+
+    def test_bad_emit_stage_fires_rl103(self, tmp_path):
+        root = build_repo(tmp_path, metrics_src='''
+            def instrument(bus):
+                bus.emit("drone-00", "End To End", 1.0, 0.0)
+            ''')
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL103"]
+        assert "stage" in res.violations[0].message
+
+
+class TestGracefulDegradation:
+    def test_fixture_tree_without_artifacts_is_silent(self, tmp_path):
+        # A bare module with no registry/cli/README around it must
+        # not trip the contract rules (they cross-check, not require).
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        res = lint_paths([str(tmp_path / "mod.py")], strict=True,
+                         root=str(tmp_path))
+        assert res.violations == []

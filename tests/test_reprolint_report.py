@@ -1,0 +1,93 @@
+"""Reporter tests: JSON schema stability and human rendering."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import (JSON_SCHEMA_VERSION, lint_paths,
+                            render_json, render_text, rule_ids,
+                            severity_counts, to_json_dict)
+
+SNIPPET = """
+import time
+import random
+
+def f(xs=[]):
+    return time.time(), random.random(), xs
+"""
+
+
+def make_result(tmp_path, strict=True):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(SNIPPET))
+    return lint_paths([str(path)], strict=strict,
+                      root=str(tmp_path))
+
+
+class TestJsonReport:
+    def test_schema_shape(self, tmp_path):
+        doc = to_json_dict(make_result(tmp_path))
+        assert doc["tool"] == "reprolint"
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION
+        assert set(doc) == {"tool", "schema_version", "strict",
+                            "paths", "files_checked", "rules",
+                            "summary", "violations"}
+        assert set(doc["summary"]) == {"errors", "warnings",
+                                       "suppressed", "exit_code"}
+        for violation in doc["violations"]:
+            assert set(violation) == {"rule", "severity", "path",
+                                      "line", "col", "message"}
+            assert violation["severity"] in ("error", "warning")
+
+    def test_rule_catalogue_complete(self, tmp_path):
+        doc = to_json_dict(make_result(tmp_path))
+        assert [r["id"] for r in doc["rules"]] == rule_ids()
+        assert {"RL001", "RL002", "RL003", "RL004", "RL005",
+                "RL101", "RL102", "RL103"} <= set(rule_ids())
+        for rule in doc["rules"]:
+            assert rule["scope"] in ("file", "repo")
+            assert rule["title"]
+
+    def test_counts_match_violations(self, tmp_path):
+        result = make_result(tmp_path)
+        doc = to_json_dict(result)
+        severities = [v["severity"] for v in doc["violations"]]
+        assert doc["summary"]["errors"] == severities.count("error")
+        assert doc["summary"]["warnings"] == \
+            severities.count("warning")
+        assert doc["summary"]["exit_code"] == result.exit_code == 1
+        counts = severity_counts(result)
+        assert counts == {"RL001": 1, "RL002": 1, "RL004": 1}
+
+    def test_json_parses_and_is_deterministic(self, tmp_path):
+        result = make_result(tmp_path)
+        text = render_json(result)
+        assert json.loads(text) == to_json_dict(result)
+        assert text == render_json(result)
+
+    def test_strict_flag_recorded(self, tmp_path):
+        assert to_json_dict(make_result(tmp_path,
+                                        strict=False))["strict"] \
+            is False
+        assert to_json_dict(make_result(tmp_path,
+                                        strict=True))["strict"] \
+            is True
+
+
+class TestTextReport:
+    def test_lists_violations_flake8_style(self, tmp_path):
+        text = render_text(make_result(tmp_path))
+        assert "snippet.py:6" in text
+        assert "RL001 [error]" in text
+        assert "RL004 [warning]" in text
+        assert "1 files checked" in text
+        assert "[strict]" in text
+
+    def test_clean_result_says_clean(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        result = lint_paths([str(path)], root=str(tmp_path))
+        text = render_text(result)
+        assert text.startswith("clean")
+        assert result.exit_code == 0
