@@ -26,7 +26,8 @@ from ..errors import BenchmarkError
 from ..io.jsonio import dump_json
 from ..latency.runtime import SimulatedRuntime
 from ..obs import Aggregator, QuantileSketch, TelemetryBus, use_telemetry
-from ..serving import ServingConfig, ServingSimulator
+from ..serving import (ClusterConfig, ClusterSimulator, ServingConfig,
+                       ServingSimulator, default_chaos_faults)
 
 SCHEMA_VERSION = 1
 DEFAULT_OUT_DIR = "bench_trajectory"
@@ -52,6 +53,13 @@ SERVING_MODEL = "yolov8-m"
 SERVING_DEVICE = "rtx4090"
 SERVING_OVERLOAD_STREAMS = 32
 SERVING_FIXED_BATCH = 8
+
+#: Chaos probes: the 2-replica cluster under the canned fault ladder
+#: (crash + slowdown).  Gated on the e2e tail under faults and on the
+#: failover recovery time (last requeued-victim completion minus the
+#: crash instant) — a failover regression trips the p99 gate.
+CHAOS_REPLICAS = 2
+CHAOS_SEED = 7
 
 
 def run_suite(n_frames: int = 150, fleet_drones: int = 8,
@@ -102,6 +110,24 @@ def run_suite(n_frames: int = 150, fleet_drones: int = 8,
         sketch.observe(sim.batch_latency_ms(b) / b)
     suite[f"serving/per_frame@b{SERVING_FIXED_BATCH}"] = \
         sketch.snapshot()
+
+    # Chaos probes: replicated serving through the canned fault
+    # ladder — e2e tail under faults, plus failover recovery time.
+    chaos = ClusterSimulator(ClusterConfig(
+        num_streams=SERVING_OVERLOAD_STREAMS // 2,
+        duration_s=fleet_duration_s, seed=CHAOS_SEED,
+        faults=default_chaos_faults(fleet_duration_s,
+                                    CHAOS_REPLICAS))).run()
+    sketch = QuantileSketch()
+    for v in chaos.latencies_ms:
+        sketch.observe(float(v))
+    suite[f"serving/chaos_e2e@{CHAOS_REPLICAS}r"] = sketch.snapshot()
+    sketch = QuantileSketch()
+    for v in chaos.crash_recoveries_ms:
+        sketch.observe(float(v))
+    if sketch.count:
+        suite[f"serving/failover_recovery@{CHAOS_REPLICAS}r"] = \
+            sketch.snapshot()
     return suite
 
 

@@ -235,6 +235,8 @@ def _cmd_serve_sim(args) -> int:
     from .latency.batching import BatchingModel
     from .models.spec import model_spec
     from .serving import ServingConfig, ServingSimulator
+    if args.replica or args.replicas > 1 or args.chaos:
+        return _serve_sim_cluster(args)
     cfg = ServingConfig(
         model=args.model, device=args.device,
         num_streams=args.streams, frame_rate=args.rate,
@@ -281,6 +283,96 @@ def _cmd_serve_sim(args) -> int:
             failures.append(
                 f"shedding violation rate {rep.violation_rate:.4f} "
                 f">= 0.01")
+        if failures:
+            for f in failures:
+                print(f"CHECK FAILED: {f}", file=sys.stderr)
+            return 1
+        print("checks passed")
+    return 0
+
+
+def _serve_sim_cluster(args) -> int:
+    import json as _json
+
+    from .serving import (ClusterConfig, ClusterSimulator, ReplicaSpec,
+                          default_chaos_faults)
+    if args.replica:
+        specs = []
+        for entry in args.replica:
+            model, sep, device = entry.partition("@")
+            if not sep or not model or not device:
+                print(f"error: --replica wants MODEL@DEVICE, "
+                      f"got {entry!r}", file=sys.stderr)
+                return 2
+            specs.append(ReplicaSpec(
+                model=model, device=device,
+                queue_capacity=args.queue_capacity,
+                max_batch=args.max_batch))
+        replicas = tuple(specs)
+    else:
+        replicas = tuple(
+            ReplicaSpec(model=args.model, device=args.device,
+                        queue_capacity=args.queue_capacity,
+                        max_batch=args.max_batch)
+            for _ in range(args.replicas))
+    faults = default_chaos_faults(args.duration, len(replicas)) \
+        if args.chaos else ()
+    cfg = ClusterConfig(
+        replicas=replicas, num_streams=args.streams,
+        frame_rate=args.rate, duration_s=args.duration,
+        deadline_ms=args.deadline_ms, router=args.router,
+        max_retries=args.retries,
+        hedge_quantile=args.hedge_quantile, faults=faults,
+        arrival_jitter_ms=args.jitter_ms, seed=args.seed)
+    rep = ClusterSimulator(cfg).run()
+    s = rep.summary()
+    pool = ", ".join(f"r{i}={label}"
+                     for i, label in enumerate(s["replicas"]))
+    print(f"cluster [{pool}] — {cfg.num_streams} streams x "
+          f"{cfg.frame_rate:g} fps ({cfg.offered_rps:g} rps), "
+          f"router={s['router']}"
+          + (", chaos ladder on" if args.chaos else ""))
+    shed_parts = " ".join(f"{k}={v}" for k, v in
+                          sorted(rep.shed.items()) if v)
+    print(f"  deadline       : {rep.deadline_ms:8.2f} ms")
+    print(f"  generated      : {rep.generated:8d}")
+    print(f"  admitted       : {rep.admitted:8d} "
+          f"({100.0 * rep.admitted_fraction:.1f}%)"
+          + (f"  shed: {shed_parts}" if shed_parts else ""))
+    print(f"  completed      : {rep.completed:8d} "
+          f"({rep.violations} past deadline, "
+          f"rate {rep.violation_rate:.4f})")
+    print(f"  latency        : p50 {rep.p50_ms:8.2f} ms   "
+          f"p99 {rep.p99_ms:8.2f} ms")
+    print(f"  goodput        : {rep.goodput_fps:8.1f} fps "
+          f"(throughput {rep.throughput_fps:.1f} fps)")
+    avail = " ".join(f"r{r}={rep.availability(r):.4f}"
+                     for r in range(len(cfg.replicas)))
+    print(f"  availability   : {avail}")
+    if rep.downtimes_ms:
+        recov = ", ".join(f"{v:.1f}" for v in rep.crash_recoveries_ms)
+        print(f"  crashes        : {sum(rep.replica_crashes.values())}"
+              f" (MTTR {rep.mttr_ms:.1f} ms, failover recovery "
+              f"[{recov}] ms)")
+    if rep.retries or rep.timeout_reroutes or rep.hedged:
+        print(f"  recovery       : {rep.requeued_on_crash} requeued, "
+              f"{rep.retries} retries, {rep.timeout_reroutes} "
+              f"timeout re-routes, {rep.hedged} hedged "
+              f"({rep.hedge_wins} wins)")
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(s, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.out}")
+    if args.check:
+        failures = []
+        if not rep.conservation_holds():
+            failures.append("request conservation violated")
+        if rep.lost_requests:
+            failures.append(
+                f"{rep.lost_requests} admitted requests lost")
         if failures:
             for f in failures:
                 print(f"CHECK FAILED: {f}", file=sys.stderr)
@@ -433,6 +525,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seeded uniform arrival jitter")
     serve_p.add_argument("--seed", type=int, default=None,
                          help="seed for the jitter stream")
+    serve_p.add_argument("--replicas", type=int, default=1,
+                         help="replica count; >1 runs the "
+                              "fault-tolerant cluster simulator")
+    serve_p.add_argument("--replica", action="append", default=None,
+                         metavar="MODEL@DEVICE",
+                         help="explicit heterogeneous replica (repeat "
+                              "per replica; overrides --replicas)")
+    serve_p.add_argument("--router", default="least-loaded",
+                         choices=["least-loaded", "round-robin",
+                                  "fastest"],
+                         help="failover routing policy "
+                              "(default least-loaded)")
+    serve_p.add_argument("--chaos", action="store_true",
+                         help="inject the canned server-fault ladder "
+                              "(crash + slowdown window)")
+    serve_p.add_argument("--hedge-quantile", type=float, default=None,
+                         help="hedge requests outstanding past this "
+                              "latency quantile (e.g. 0.95)")
+    serve_p.add_argument("--retries", type=int, default=4,
+                         help="per-request re-dispatch budget "
+                              "(default 4)")
+    serve_p.add_argument("--out", default=None,
+                         help="write the summary / recovery-metrics "
+                              "JSON here")
     serve_p.add_argument("--check", action="store_true",
                          help="exit non-zero when serving invariants "
                               "fail (CI smoke mode)")

@@ -7,22 +7,25 @@ NOMINAL → DEGRADED → SAFE_STOP health monitor (:mod:`.health`) and
 cross-run resilience metrics (:mod:`.metrics`).
 """
 
-from .guard import (ResilienceConfig, StageExecutor, StageOutcome,
-                    StageStatus)
+from .guard import (AdaptiveEnvelope, ResilienceConfig, StageExecutor,
+                    StageOutcome, StageStatus)
 from .health import HealthConfig, HealthMonitor, HealthState
 from .injector import (CORRUPTION_TAG, DROPOUT_TAG, FaultInjector,
                        corruption_severity_from_tags)
 from .metrics import GUIDANCE_KINDS, missed_alert_rate
 from .scenarios import (SCENARIOS, scenario, scenario_description,
                         scenario_names)
-from .spec import STAGES, FaultKind, FaultSpec
+from .server import ServerFaultStream
+from .spec import SERVER_KINDS, STAGES, FaultKind, FaultSpec
 
 __all__ = [
-    "FaultKind", "FaultSpec", "STAGES",
+    "FaultKind", "FaultSpec", "STAGES", "SERVER_KINDS",
     "FaultInjector", "CORRUPTION_TAG", "DROPOUT_TAG",
     "corruption_severity_from_tags",
+    "ServerFaultStream",
     "SCENARIOS", "scenario", "scenario_description", "scenario_names",
-    "ResilienceConfig", "StageExecutor", "StageOutcome", "StageStatus",
+    "AdaptiveEnvelope", "ResilienceConfig", "StageExecutor",
+    "StageOutcome", "StageStatus",
     "HealthConfig", "HealthMonitor", "HealthState",
     "GUIDANCE_KINDS", "missed_alert_rate",
 ]

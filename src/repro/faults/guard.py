@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from ..errors import ConfigError, FaultError
 from ..obs import Tracer, current_tracer
@@ -48,6 +48,48 @@ class StageStatus(enum.Enum):
     @property
     def failed(self) -> bool:
         return self is not StageStatus.OK
+
+
+@dataclass
+class AdaptiveEnvelope:
+    """The adaptive-timeout rule, TCP-RTO style, as reusable state.
+
+    Timeout = ``envelope × EWMA of recently observed cost`` with an
+    absolute floor — an anomaly detector, not a deadline: nominally
+    slow work keeps paying its real cost (the EWMA tracks it up),
+    while a sudden many-× stall on work that normally fits its
+    envelope is killed.  Used per stage by :class:`StageExecutor` and
+    per request by the serving cluster's failover router
+    (:mod:`repro.serving.cluster`).
+
+    The whole state is one optional float (``baseline``), so it
+    checkpoints trivially in event-loop snapshots.
+    """
+
+    envelope: float
+    floor_ms: float
+    beta: float = 0.3
+    baseline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.envelope <= 1.0:
+            raise ConfigError("envelope must exceed 1")
+        if self.floor_ms < 0:
+            raise ConfigError("timeout floor must be non-negative")
+        if not 0.0 < self.beta <= 1.0:
+            raise ConfigError("baseline beta outside (0, 1]")
+
+    def observe(self, cost_ms: float) -> None:
+        """Fold one observed cost into the EWMA baseline."""
+        self.baseline = cost_ms if self.baseline is None \
+            else (1.0 - self.beta) * self.baseline + self.beta * cost_ms
+
+    def timeout_ms(self, seed_cost_ms: float) -> float:
+        """Current timeout; ``seed_cost_ms`` stands in for the
+        baseline until the first observation lands."""
+        baseline = self.baseline if self.baseline is not None \
+            else seed_cost_ms
+        return max(self.envelope * baseline, self.floor_ms)
 
 
 @dataclass
@@ -142,16 +184,23 @@ class StageExecutor:
         #: Retry / watchdog / link events land on whatever span the
         #: caller has open (the pipeline's per-stage span).
         self.tracer = tracer if tracer is not None else current_tracer()
-        #: Adaptive per-stage latency baseline (EWMA of observed costs).
-        self._baseline: dict = {}
+        #: Per-stage adaptive watchdog envelopes (EWMA-tracked).
+        self._envelopes: Dict[str, AdaptiveEnvelope] = {}
+
+    def _envelope(self, stage: str) -> AdaptiveEnvelope:
+        env = self._envelopes.get(stage)
+        if env is None:
+            env = self._envelopes[stage] = AdaptiveEnvelope(
+                envelope=self.resilience.watchdog_envelopes[stage],
+                floor_ms=self.resilience.watchdog_floor_periods
+                * self.period_ms,
+                beta=self.resilience.baseline_beta)
+        return env
 
     def timeout_ms(self, stage: str, base_cost_ms: float) -> float:
         """Current watchdog timeout for ``stage`` given this frame's
         sampled base cost (used to seed an unseen stage's baseline)."""
-        baseline = self._baseline.get(stage, base_cost_ms)
-        return max(
-            self.resilience.watchdog_envelopes[stage] * baseline,
-            self.resilience.watchdog_floor_periods * self.period_ms)
+        return self._envelope(stage).timeout_ms(base_cost_ms)
 
     def run(self, stage: str, frame_index: int, base_cost_ms: float,
             fn: Callable[[], Any]) -> StageOutcome:
@@ -236,10 +285,7 @@ class StageExecutor:
 
     def _observe(self, stage: str, cost_ms: float) -> None:
         """Fold a successful stage execution into the EWMA baseline."""
-        beta = self.resilience.baseline_beta
-        prev = self._baseline.get(stage)
-        self._baseline[stage] = cost_ms if prev is None \
-            else (1.0 - beta) * prev + beta * cost_ms
+        self._envelope(stage).observe(cost_ms)
 
     def _run_unguarded(self, stage: str, frame_index: int,
                        attempt_cost: float, fn: Callable[[], Any],

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import ConfigError, FaultError
 from ..rng import make_rng
-from .spec import STAGES, FaultKind, FaultSpec
+from .spec import SERVER_KINDS, STAGES, FaultKind, FaultSpec
 
 #: Corruption tag prefix recorded on ``frame.applied_corruptions``.
 CORRUPTION_TAG = "chaos:corrupt"
@@ -55,6 +55,11 @@ class FaultInjector:
         for spec in specs:
             if not isinstance(spec, FaultSpec):
                 raise ConfigError(f"not a FaultSpec: {spec!r}")
+            if spec.kind in SERVER_KINDS:
+                raise ConfigError(
+                    f"{spec.kind.value} is a server-level fault; "
+                    f"feed it to faults.server.ServerFaultStream, "
+                    f"not the frame injector")
         self.specs: Tuple[FaultSpec, ...] = tuple(specs)
         self.seed = seed
         self.injected: Dict[str, int] = {}

@@ -1,0 +1,110 @@
+"""Server-level fault streams for the replicated serving tier.
+
+The VisDrone multi-stream and Jetson benchmarking lines both report
+that sustained throttling and device dropouts are the *common* case at
+the edge, not the exception — so the serving cluster treats replica
+faults as a first-class, injectable input.  A
+:class:`ServerFaultStream` resolves a tuple of server-level
+:class:`~repro.faults.spec.FaultSpec` (``SERVER_CRASH`` /
+``SERVER_SLOWDOWN`` / ``SERVER_PARTITION``) into deterministic
+per-replica timeline queries on the serving simulator's millisecond
+clock:
+
+* **crash schedule** — each ``SERVER_CRASH`` spec contributes one
+  crash instant; the restart *downtime* is drawn at crash time by the
+  event loop from its seeded RNG stream (so the draw is part of the
+  checkpointable loop state, not precomputed config);
+* **slowdown factor** — the product of every active
+  ``SERVER_SLOWDOWN`` magnitude, sampled when a batch dispatches;
+* **partition windows** — intervals during which the replica accepts
+  no *new* dispatches (already-queued work proceeds; a partition cuts
+  the request path, not the GPU).
+
+The stream itself is pure data + pure queries: the same specs always
+describe the same fault timeline, and nothing here reads a clock or an
+ambient RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigError
+from .spec import SERVER_KINDS, FaultKind, FaultSpec
+
+#: Downtime draws span ``[0.5, 1.5) × magnitude`` — the event loop
+#: computes ``magnitude * (DOWNTIME_SPREAD_LO + rng.random())``.
+DOWNTIME_SPREAD_LO = 0.5
+
+
+class ServerFaultStream:
+    """Deterministic per-replica fault timeline for one cluster run."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(f"not a FaultSpec: {spec!r}")
+            if spec.kind not in SERVER_KINDS:
+                raise ConfigError(
+                    f"{spec.kind.value} is not a server-level fault; "
+                    f"feed it to FaultInjector instead")
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._crashes: Dict[int, List[FaultSpec]] = {}
+        for spec in self.specs:
+            if spec.kind is FaultKind.SERVER_CRASH:
+                assert spec.replica is not None
+                self._crashes.setdefault(spec.replica, []).append(spec)
+        for replica in self._crashes:
+            self._crashes[replica].sort(
+                key=lambda s: (s.start_ms, s.magnitude))
+
+    def validate_replicas(self, num_replicas: int) -> None:
+        """Reject specs that target a replica the pool doesn't have."""
+        for spec in self.specs:
+            assert spec.replica is not None
+            if spec.replica >= num_replicas:
+                raise ConfigError(
+                    f"{spec.label} targets replica {spec.replica} "
+                    f"but the pool has {num_replicas}")
+
+    # -- queries -------------------------------------------------------------
+
+    def crash_schedule(self, replica: int) -> List[FaultSpec]:
+        """Crash specs for ``replica``, ordered by crash instant."""
+        return list(self._crashes.get(replica, []))
+
+    def slowdown(self, replica: int, t_ms: float) -> float:
+        """Batch-latency multiplier for ``replica`` at ``t_ms``."""
+        factor = 1.0
+        for spec in self.specs:
+            if spec.kind is FaultKind.SERVER_SLOWDOWN \
+                    and spec.replica == replica \
+                    and spec.active_ms(t_ms):
+                factor *= spec.magnitude
+        return factor
+
+    def partitioned(self, replica: int, t_ms: float) -> bool:
+        """Is the replica's link down for new dispatches at ``t_ms``?"""
+        return any(
+            spec.kind is FaultKind.SERVER_PARTITION
+            and spec.replica == replica and spec.active_ms(t_ms)
+            for spec in self.specs)
+
+    def partition_clears_ms(self, replica: int,
+                            t_ms: float) -> float:
+        """When the partition covering ``t_ms`` ends (``t_ms`` if the
+        replica is not partitioned).  Overlapping windows compose: the
+        clear time is the latest end reachable through the chain."""
+        clear = t_ms
+        changed = True
+        while changed:
+            changed = False
+            for spec in self.specs:
+                if spec.kind is FaultKind.SERVER_PARTITION \
+                        and spec.replica == replica \
+                        and spec.active_ms(clear) \
+                        and spec.end_ms is not None \
+                        and spec.end_ms > clear:
+                    clear = spec.end_ms
+                    changed = True
+        return clear

@@ -40,6 +40,16 @@ class FaultKind(enum.Enum):
     #: Battery sag: latencies ramp linearly from 1× at ``start_frame``
     #: to ``magnitude``× at ``end_frame`` (DVFS stepping down).
     BATTERY_SAG = "battery_sag"
+    #: Serving replica crashes at ``start_ms`` on the serving timeline,
+    #: losing its queue and in-flight batch, and restarts after a
+    #: seeded downtime with mean ``magnitude`` ms.
+    SERVER_CRASH = "server_crash"
+    #: Serving replica throttles: batch execution latency is multiplied
+    #: by ``magnitude`` (>= 1) over ``[start_ms, end_ms)``.
+    SERVER_SLOWDOWN = "server_slowdown"
+    #: Link partition: the replica is unreachable for *new* dispatches
+    #: over ``[start_ms, end_ms)`` (work already queued proceeds).
+    SERVER_PARTITION = "server_partition"
 
 
 #: Kinds that fire stochastically per frame (need ``probability`` > 0).
@@ -57,6 +67,14 @@ WINDOW_KINDS = frozenset({
 #: Kinds that must name a target stage.
 STAGE_KINDS = frozenset({FaultKind.STAGE_CRASH, FaultKind.STAGE_HANG})
 
+#: Server-level kinds: they target one serving replica and live on the
+#: serving simulator's millisecond timeline (``start_ms``/``end_ms``)
+#: rather than the pipeline's frame axis.
+SERVER_KINDS = frozenset({
+    FaultKind.SERVER_CRASH, FaultKind.SERVER_SLOWDOWN,
+    FaultKind.SERVER_PARTITION,
+})
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -68,6 +86,12 @@ class FaultSpec:
     severity, hang/throttle/sag latency multiplier.  A stochastic spec
     may also carry a window, e.g. a dropout *burst*
     (``probability=1.0, start_frame=40, end_frame=60``).
+
+    Server-level kinds (``SERVER_KINDS``) target one serving replica
+    (``replica``) and use the millisecond fields ``start_ms`` /
+    ``end_ms`` instead of the frame window; ``magnitude`` is the mean
+    restart downtime in ms for a crash and the latency multiplier for
+    a slowdown.
     """
 
     kind: FaultKind
@@ -76,6 +100,11 @@ class FaultSpec:
     start_frame: int = 0
     end_frame: Optional[int] = None
     magnitude: float = 1.0
+    #: Target replica index for server-level kinds (required there).
+    replica: Optional[int] = None
+    #: Serving-timeline window for server-level kinds.
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, FaultKind):
@@ -88,6 +117,13 @@ class FaultSpec:
         elif self.stage is not None:
             raise ConfigError(
                 f"{self.kind.value} does not take a stage")
+        if self.kind in SERVER_KINDS:
+            self._validate_server()
+        elif self.replica is not None or self.start_ms != 0.0 \
+                or self.end_ms is not None:
+            raise ConfigError(
+                f"{self.kind.value} does not take replica/start_ms/"
+                f"end_ms (serving-tier fields)")
         if not 0.0 < self.probability <= 1.0:
             raise ConfigError(
                 f"probability outside (0, 1]: {self.probability}")
@@ -101,18 +137,51 @@ class FaultSpec:
                     f"corruption severity outside (0, 1]: {self.magnitude}")
         elif self.kind in (FaultKind.STAGE_HANG,
                            FaultKind.THERMAL_THROTTLE,
-                           FaultKind.BATTERY_SAG):
+                           FaultKind.BATTERY_SAG,
+                           FaultKind.SERVER_SLOWDOWN):
             if self.magnitude < 1.0:
                 raise ConfigError(
                     f"{self.kind.value} magnitude must be >= 1, "
                     f"got {self.magnitude}")
+        elif self.kind is FaultKind.SERVER_CRASH:
+            if self.magnitude <= 0.0:
+                raise ConfigError(
+                    f"server_crash mean downtime must be positive, "
+                    f"got {self.magnitude}")
+
+    def _validate_server(self) -> None:
+        if self.replica is None or self.replica < 0:
+            raise ConfigError(
+                f"{self.kind.value} needs a non-negative replica "
+                f"index, got {self.replica!r}")
+        if self.start_ms < 0:
+            raise ConfigError("start_ms must be non-negative")
+        if self.kind is FaultKind.SERVER_CRASH:
+            if self.end_ms is not None:
+                raise ConfigError(
+                    "server_crash takes no end_ms; downtime is drawn "
+                    "from the seeded stream around `magnitude`")
+        elif self.end_ms is None or self.end_ms <= self.start_ms:
+            raise ConfigError(
+                f"{self.kind.value} needs end_ms > start_ms")
+
     def active(self, frame_index: int, n_frames: int) -> bool:
         """Is the spec's window open at ``frame_index``?"""
         end = n_frames if self.end_frame is None else self.end_frame
         return self.start_frame <= frame_index < end
 
+    def active_ms(self, t_ms: float) -> bool:
+        """Is a server-level spec's window open at ``t_ms``?"""
+        if self.kind not in SERVER_KINDS:
+            raise ConfigError(
+                f"{self.kind.value} has no millisecond window")
+        end = float("inf") if self.end_ms is None else self.end_ms
+        return self.start_ms <= t_ms < end
+
     @property
     def label(self) -> str:
         """Stable label for RNG streams and injection counters."""
+        if self.kind in SERVER_KINDS:
+            return f"{self.kind.value}:r{self.replica}"
         target = f":{self.stage}" if self.stage else ""
         return f"{self.kind.value}{target}"

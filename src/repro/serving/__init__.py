@@ -3,9 +3,12 @@
 The serving regime the paper's edge-cloud discussion implies — many
 drone streams sharing one workstation GPU through a deadline-aware
 dynamic micro-batcher — executed as a deterministic discrete-event
-simulation.  See :mod:`repro.serving.simulator` for the event loop,
-:mod:`repro.serving.batcher` for the batching policy and
-:mod:`repro.serving.admission` for backpressure + SLO-burn shedding.
+simulation.  See :mod:`repro.serving.simulator` for the single-server
+event loop, :mod:`repro.serving.batcher` for the batching policy,
+:mod:`repro.serving.admission` for backpressure + SLO-burn shedding,
+and :mod:`repro.serving.cluster` for the fault-tolerant replicated
+tier (replica pools, failover routing with retry/hedging, and
+checkpoint/restore).
 """
 
 from .request import Request, ShedReason, generate_arrivals
@@ -13,10 +16,14 @@ from .batcher import MicroBatcher
 from .admission import (AdmissionController, AdmissionPolicy,
                         serving_slo_policy)
 from .simulator import ServingConfig, ServingReport, ServingSimulator
+from .cluster import (ClusterConfig, ClusterReport, ClusterSimulator,
+                      ReplicaSpec, RouterPolicy, default_chaos_faults)
 
 __all__ = [
     "Request", "ShedReason", "generate_arrivals",
     "MicroBatcher",
     "AdmissionController", "AdmissionPolicy", "serving_slo_policy",
     "ServingConfig", "ServingReport", "ServingSimulator",
+    "ClusterConfig", "ClusterReport", "ClusterSimulator",
+    "ReplicaSpec", "RouterPolicy", "default_chaos_faults",
 ]

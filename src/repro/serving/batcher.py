@@ -88,6 +88,58 @@ class MicroBatcher:
         q.append(request)
         self._pending += 1
 
+    def remove(self, request: Request) -> bool:
+        """Withdraw a queued request (failover re-route / hedge-win
+        cancellation).  Returns False when it is not queued here.
+
+        The stream's round-robin slot is kept even if its queue
+        empties — :meth:`take_batch` drops drained streams lazily, so
+        removal never perturbs the rotation order of the others.
+        """
+        q = self._streams.get(request.stream)
+        if q is None:
+            return False
+        try:
+            q.remove(request)
+        except ValueError:
+            return False
+        self._pending -= 1
+        return True
+
+    def drain(self) -> List[Request]:
+        """Take *every* pending request (crash requeue), oldest first."""
+        out: List[Request] = []
+        for stream in sorted(self._streams):
+            out.extend(self._streams[stream])
+        self._streams.clear()
+        self._rr.clear()
+        self._pending = 0
+        out.sort(key=lambda r: (r.arrival_ms, r.stream, r.seq))
+        return out
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state(self) -> dict:
+        """Pure-data snapshot of the queue (for event-loop
+        checkpoints): per-stream request tuples plus rotation order."""
+        return {
+            "streams": {
+                stream: [(r.stream, r.seq, r.arrival_ms, r.deadline_ms)
+                         for r in q]
+                for stream, q in sorted(self._streams.items())},
+            "rr": list(self._rr),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` snapshot (replaces all queues)."""
+        self._streams = {
+            int(stream): deque(
+                Request(stream=s, seq=q, arrival_ms=a, deadline_ms=d)
+                for s, q, a, d in reqs)
+            for stream, reqs in state["streams"].items()}
+        self._rr = deque(int(s) for s in state["rr"])
+        self._pending = sum(len(q) for q in self._streams.values())
+
     # -- dispatch policy -----------------------------------------------------
 
     def _target_size(self) -> int:

@@ -84,6 +84,10 @@ class ServingConfig:
             raise BenchmarkError("max_batch must be >= 1")
         if self.fixed_batch is not None and self.fixed_batch < 1:
             raise BenchmarkError("fixed_batch must be >= 1")
+        if self.arrival_jitter_ms < 0:
+            # Negative jitter would produce out-of-order arrival
+            # timestamps and silently corrupt the total event order.
+            raise BenchmarkError("arrival jitter must be non-negative")
 
     @property
     def resolved_deadline_ms(self) -> float:
@@ -131,9 +135,13 @@ class ServingReport:
 
     @property
     def violation_rate(self) -> float:
-        """Fraction of *admitted* requests finishing past deadline."""
+        """Fraction of *admitted* requests finishing past deadline.
+
+        An all-shed run (nothing completed) violated nothing: 0.0,
+        so :meth:`summary` stays total over empty runs.
+        """
         if self.completed == 0:
-            raise BenchmarkError("empty serving run")
+            return 0.0
         return self.violations / self.completed
 
     @property

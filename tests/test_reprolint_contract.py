@@ -15,10 +15,11 @@ import textwrap
 from repro.analysis import lint_paths
 
 REGISTRY = '''
-from . import exp_alpha, exp_beta
+from . import exp_alpha, exp_beta, exp_serving_chaos
 
 FAST_EXPERIMENTS = {
     "exp_alpha": exp_alpha.run,
+    "exp_serving_chaos": exp_serving_chaos.run,
 }
 
 SLOW_EXPERIMENTS = {
@@ -50,6 +51,15 @@ Usage: repro run <id> and repro lint [--strict].
 EXPERIMENTS_MD = """
 ## exp_alpha results
 ## exp_beta results
+## exp_serving_chaos results
+"""
+
+#: Docs that mention the chaos experiment's *prefix* but never the
+#: full id — must NOT satisfy RL101's word-boundary match.
+EXPERIMENTS_MD_PREFIX_ONLY = """
+## exp_alpha results
+## exp_beta results
+## exp_serving results
 """
 
 METRICS_USER = '''
@@ -62,6 +72,7 @@ def instrument(metrics, bus):
 
 def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
                no_claims=False, undocumented_cli=False,
+               drop_chaos_golden=False, docs_prefix_only=False,
                metrics_src=METRICS_USER):
     (tmp_path / "pyproject.toml").write_text("[project]\n")
     pkg = tmp_path / "src" / "repro"
@@ -71,6 +82,8 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
     (exp / "exp_alpha.py").write_text(textwrap.dedent(
         EXPERIMENT_NO_CLAIMS if no_claims else EXPERIMENT))
     (exp / "exp_beta.py").write_text(textwrap.dedent(EXPERIMENT))
+    (exp / "exp_serving_chaos.py").write_text(
+        textwrap.dedent(EXPERIMENT))
     cli = textwrap.dedent(CLI)
     if undocumented_cli:
         cli += '    sub.add_parser("hidden", help="oops")\n'
@@ -80,11 +93,16 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
     golden.mkdir(parents=True)
     if not drop_golden:
         (golden / "exp_alpha.json").write_text("{}")
+    if not drop_chaos_golden:
+        (golden / "exp_serving_chaos.json").write_text("{}")
     (tmp_path / "README.md").write_text(README)
-    if not drop_docs:
-        (tmp_path / "EXPERIMENTS.md").write_text(EXPERIMENTS_MD)
-    else:
+    if drop_docs:
         (tmp_path / "EXPERIMENTS.md").write_text("# empty\n")
+    elif docs_prefix_only:
+        (tmp_path / "EXPERIMENTS.md").write_text(
+            EXPERIMENTS_MD_PREFIX_ONLY)
+    else:
+        (tmp_path / "EXPERIMENTS.md").write_text(EXPERIMENTS_MD)
     return tmp_path
 
 
@@ -118,9 +136,25 @@ class TestExperimentArtifacts:
         root = build_repo(tmp_path, drop_docs=True)
         res = contract_lint(root)
         ids = [v.rule_id for v in res.violations]
-        assert ids == ["RL101", "RL101"]  # both experiments undocced
+        assert ids == ["RL101"] * 3  # all experiments undocced
         assert all("EXPERIMENTS.md" in v.message
                    for v in res.violations)
+
+    def test_deleted_chaos_golden_fires_rl101(self, tmp_path):
+        root = build_repo(tmp_path, drop_chaos_golden=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL101"]
+        assert "exp_serving_chaos" in res.violations[0].message
+        assert "golden" in res.violations[0].message
+
+    def test_docs_prefix_does_not_satisfy_chaos_id(self, tmp_path):
+        # "exp_serving" in the docs must not count as documenting
+        # "exp_serving_chaos" — the match is word-bounded on the id.
+        root = build_repo(tmp_path, docs_prefix_only=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL101"]
+        assert "exp_serving_chaos" in res.violations[0].message
+        assert "EXPERIMENTS.md" in res.violations[0].message
 
     def test_empty_claims_fires_rl101(self, tmp_path):
         root = build_repo(tmp_path, no_claims=True)

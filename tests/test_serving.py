@@ -278,6 +278,8 @@ class TestServingConfigValidation:
             ServingConfig(deadline_ms=-1.0)
         with pytest.raises(BenchmarkError):
             ServingConfig(batch_budget_fraction=0.0)
+        with pytest.raises(BenchmarkError):
+            ServingConfig(arrival_jitter_ms=-0.5)
         with pytest.raises(ValueError):
             ServingConfig(policy="warp-speed")
 
@@ -286,10 +288,25 @@ class TestServingConfigValidation:
             AdmissionPolicy.SLO
 
     def test_empty_report_guards(self):
+        # An all-shed run violated nothing: rate is 0.0, not a crash.
         rep = ServingReport(policy="full", model="m", device="d",
                             deadline_ms=100.0, max_batch=8)
-        with pytest.raises(BenchmarkError):
-            rep.violation_rate
+        assert rep.violation_rate == 0.0
+        assert rep.summary()["violation_rate"] == 0.0
+
+    def test_all_shed_run_summarises(self):
+        # Regression: queue_capacity=1 plus an infeasible deadline on
+        # a slow device sheds every request; summary() must not raise.
+        cfg = ServingConfig(model="yolov8-x", device="xavier-nx",
+                            deadline_ms=10.0, queue_capacity=1,
+                            num_streams=8, duration_s=2.0,
+                            policy=AdmissionPolicy.DEADLINE, seed=3)
+        rep = ServingSimulator(cfg).run()
+        assert rep.completed == 0
+        assert rep.total_shed == rep.generated
+        out = rep.summary()
+        assert out["violation_rate"] == 0.0
+        assert out["completed"] == 0
 
 
 class TestServeSimCli:
