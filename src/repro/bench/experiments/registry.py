@@ -18,7 +18,8 @@ from . import (ablation_adaptive, ablation_calibration,
                ablation_multimodal, ablation_percategory,
                ablation_pipeline, ablation_precision,
                ablation_sampling, ablation_severity, ablation_strata,
-               exp_serving, exp_serving_chaos, fig1_curation,
+               exp_fleet_scale, exp_serving, exp_serving_chaos,
+               fig1_curation,
                fig2_gallery, fig3_diverse,
                fig4_adversarial, fig5_edge_latency, fig6_workstation,
                table1_dataset, table2_models, table3_devices)
@@ -46,6 +47,7 @@ FAST_EXPERIMENTS: Dict[str, object] = {
     "ablation_strata": ablation_strata.run,
     "exp_serving": exp_serving.run,
     "exp_serving_chaos": exp_serving_chaos.run,
+    "exp_fleet_scale": exp_fleet_scale.run,
 }
 
 #: Experiments that train mini models (minutes).

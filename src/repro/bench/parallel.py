@@ -18,7 +18,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from ..errors import BenchmarkError
+from ..errors import BenchmarkError, ConfigError
 from ..obs import (TelemetryBus, TraceContext, Tracer,
                    current_telemetry, current_tracer, use_telemetry,
                    use_tracer)
@@ -108,11 +108,14 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     back into the parent trace under the caller's active span.
     """
     items = list(items)
+    n_workers = workers if workers is not None else default_workers()
+    # Validate before the empty-input early return: a bad worker count
+    # is a config bug whether or not there happens to be work, and it
+    # must surface as ConfigError, not whatever the executor raises.
+    if not isinstance(n_workers, int) or n_workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {n_workers!r}")
     if not items:
         return []
-    n_workers = workers if workers is not None else default_workers()
-    if n_workers < 1:
-        raise BenchmarkError(f"workers must be >= 1, got {n_workers}")
     tracer = current_tracer()
     if force_serial or n_workers == 1 or len(items) < MIN_PARALLEL_ITEMS:
         return _serial_map(fn, items, tracer)

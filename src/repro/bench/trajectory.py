@@ -61,10 +61,36 @@ SERVING_FIXED_BATCH = 8
 CHAOS_REPLICAS = 2
 CHAOS_SEED = 7
 
+#: Sharded-fleet probe: the merged e2e tail of a small cell-sharded
+#: fleet (deterministic — the merge is byte-identical for any shard
+#: count, so the probe never depends on worker scheduling).
+FLEET_CELLS = 4
+FLEET_STREAMS = 8
+#: Worker count for the opt-in wall-clock scaling probe.
+FLEET_WALLCLOCK_SHARDS = 4
+
+
+def _fleet_sim_config(shards: int = 1):
+    from ..serving import FleetSimConfig, ReplicaSpec
+    return FleetSimConfig(
+        num_streams=FLEET_STREAMS, num_cells=FLEET_CELLS,
+        replicas_per_cell=(ReplicaSpec("yolov8-n", "orin-nano"),),
+        frame_rate=5.0, duration_s=3.0, deadline_ms=100.0,
+        seed=CHAOS_SEED, shards=shards)
+
 
 def run_suite(n_frames: int = 150, fleet_drones: int = 8,
-              fleet_duration_s: float = 5.0) -> Dict[str, dict]:
-    """Run every probe; returns ``{probe name: sketch snapshot}``."""
+              fleet_duration_s: float = 5.0,
+              wallclock: bool = False) -> Dict[str, dict]:
+    """Run every probe; returns ``{probe name: sketch snapshot}``.
+
+    ``wallclock=True`` adds the fleet shard-scaling wall-clock probes
+    — real elapsed time, so they are **not** byte-identical between
+    runs and are never regression-gated (:func:`compare_points` skips
+    any probe named ``*wallclock*``); they exist so a trajectory can
+    carry evidence that sharding actually buys wall-clock time on the
+    machine that wrote the point.
+    """
     if n_frames < 1:
         raise BenchmarkError(f"n_frames must be >= 1, got {n_frames}")
     suite: Dict[str, dict] = {}
@@ -128,6 +154,30 @@ def run_suite(n_frames: int = 150, fleet_drones: int = 8,
     if sketch.count:
         suite[f"serving/failover_recovery@{CHAOS_REPLICAS}r"] = \
             sketch.snapshot()
+
+    # Fleet probe: merged e2e tail over the cell-sharded fleet.  The
+    # merged sketch is identical for any shard count, so the probe is
+    # golden-safe even though cells may run in worker processes.
+    from ..serving import FleetSimulator
+    fleet_rep = FleetSimulator(_fleet_sim_config()).run()
+    suite[f"fleet/merged_e2e@{FLEET_CELLS}c"] = \
+        fleet_rep.sketch.snapshot()
+
+    if wallclock:
+        # Real elapsed time, deliberately: these probes exist to show
+        # sharding buys wall-clock; they are opt-in, never written to
+        # goldens, and skipped by the regression gate by name.
+        from time import perf_counter
+        for shards in (1, FLEET_WALLCLOCK_SHARDS):
+            # reprolint: disable=RL001 opt-in wall-clock probe, ungated
+            t0 = perf_counter()
+            FleetSimulator(_fleet_sim_config(shards=shards)).run()
+            # reprolint: disable=RL001 opt-in wall-clock probe, ungated
+            elapsed_ms = 1000.0 * (perf_counter() - t0)
+            sketch = QuantileSketch()
+            sketch.observe(elapsed_ms)
+            suite[f"fleet/shard_wallclock@{shards}w"] = \
+                sketch.snapshot()
     return suite
 
 
@@ -191,6 +241,10 @@ def compare_points(current: dict, baseline: dict,
     out: List[dict] = []
     base_suite = baseline.get("suite", {})
     for probe, snap in sorted(current.get("suite", {}).items()):
+        # Wall-clock probes are machine-speed measurements, not
+        # simulated metrics — never regression-gate them.
+        if "wallclock" in probe:
+            continue
         base = base_suite.get(probe)
         if base is None:
             continue

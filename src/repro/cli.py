@@ -199,7 +199,8 @@ def _cmd_monitor(args) -> int:
 
 def _cmd_bench_track(args) -> int:
     from .bench import trajectory
-    suite = trajectory.run_suite(n_frames=args.frames)
+    suite = trajectory.run_suite(n_frames=args.frames,
+                                 wallclock=args.wallclock)
     path = trajectory.write_point(args.out_dir, args.label, suite)
     print(f"trajectory point: {path}")
     for probe, snap in sorted(suite.items()):
@@ -235,6 +236,8 @@ def _cmd_serve_sim(args) -> int:
     from .latency.batching import BatchingModel
     from .models.spec import model_spec
     from .serving import ServingConfig, ServingSimulator
+    if args.cells or args.shards > 1 or args.autoscale:
+        return _serve_sim_fleet(args)
     if args.replica or args.replicas > 1 or args.chaos:
         return _serve_sim_cluster(args)
     cfg = ServingConfig(
@@ -381,6 +384,104 @@ def _serve_sim_cluster(args) -> int:
     return 0
 
 
+def _serve_sim_fleet(args) -> int:
+    import json as _json
+
+    from .serving import (AutoscalePolicy, FleetSimConfig,
+                          FleetSimulator, ReplicaSpec,
+                          default_chaos_faults)
+    replicas = tuple(
+        ReplicaSpec(model=args.model, device=args.device,
+                    queue_capacity=args.queue_capacity,
+                    max_batch=args.max_batch)
+        for _ in range(args.replicas))
+    # The chaos ladder is confined to cell 0 — the fleet-level claim
+    # is that a cell-local fault never leaks into other cells.
+    faults = tuple((0, spec) for spec in
+                   default_chaos_faults(args.duration, len(replicas))) \
+        if args.chaos else ()
+    policy = AutoscalePolicy(
+        epoch_s=args.epoch_s, min_replicas=len(replicas),
+        max_replicas=args.max_replicas) if args.autoscale else None
+    try:
+        ramp = tuple(float(m) for m in args.ramp.split(","))
+    except ValueError:
+        print(f"error: --ramp wants comma-separated multipliers, "
+              f"got {args.ramp!r}", file=sys.stderr)
+        return 2
+    cfg = FleetSimConfig(
+        num_streams=args.streams, num_cells=args.cells or 4,
+        replicas_per_cell=replicas, frame_rate=args.rate,
+        duration_s=args.duration, deadline_ms=args.deadline_ms,
+        router=args.router, max_retries=args.retries,
+        arrival_jitter_ms=args.jitter_ms, ramp=ramp, faults=faults,
+        autoscale=policy, shards=args.shards, seed=args.seed)
+    fleet = FleetSimulator(cfg).run()
+    s = fleet.summary()
+    print(f"fleet — {cfg.num_streams} streams over "
+          f"{len(s['cells'])} cells x {len(replicas)} replica(s) "
+          f"[{replicas[0].label}], {cfg.shards} shard(s), "
+          f"router={s['router']}"
+          + (", autoscale on" if policy else "")
+          + (", chaos in cell 0" if args.chaos else ""))
+    shed_parts = " ".join(f"{k}={v}" for k, v in
+                          sorted(s["shed"].items()) if v)
+    print(f"  deadline       : {s['deadline_ms']:8.2f} ms")
+    print(f"  generated      : {s['generated']:8d}")
+    print(f"  admitted       : {s['admitted']:8d}"
+          + (f"  shed: {shed_parts}" if shed_parts else ""))
+    print(f"  completed      : {s['completed']:8d} "
+          f"({s['violations']} past deadline, "
+          f"rate {s['violation_rate']:.4f})")
+    p50 = s["p50_ms"] if s["p50_ms"] is not None else float("nan")
+    p99 = s["p99_ms"] if s["p99_ms"] is not None else float("nan")
+    print(f"  latency        : p50 {p50:8.2f} ms   "
+          f"p99 {p99:8.2f} ms")
+    print(f"  goodput        : {s['goodput_fps']:8.1f} fps "
+          f"(min availability {s['min_availability']:.4f})")
+    print(f"  scale          : {s['replica_seconds']:.1f} "
+          f"replica-seconds, max {s['max_replicas_per_cell']} "
+          f"replica(s)/cell")
+    for event in s["autoscale_events"]:
+        if event["action"] != "hold":
+            print(f"    t={event['t_ms'] / 1000.0:5.1f}s "
+                  f"{event['action']:>5s} -> "
+                  f"{event['replicas_per_cell']} replica(s)/cell")
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(s, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.out}")
+    if args.check:
+        failures = []
+        if not fleet.conservation_holds():
+            failures.append("fleet request conservation violated")
+        if fleet.lost_requests:
+            failures.append(
+                f"{fleet.lost_requests} admitted requests lost")
+        if cfg.shards > 1:
+            single = FleetSimulator(FleetSimConfig(
+                **{**_fleet_cfg_kwargs(cfg), "shards": 1})).run()
+            if _json.dumps(single.summary(), sort_keys=True) \
+                    != _json.dumps(s, sort_keys=True):
+                failures.append(
+                    f"shard-count invariance violated: {cfg.shards} "
+                    f"shards diverge from 1 shard")
+        if failures:
+            for f in failures:
+                print(f"CHECK FAILED: {f}", file=sys.stderr)
+            return 1
+        print("checks passed")
+    return 0
+
+
+def _fleet_cfg_kwargs(cfg) -> dict:
+    from dataclasses import fields
+    return {f.name: getattr(cfg, f.name) for f in fields(cfg)}
+
+
 def _cmd_lint(args) -> int:
     from .analysis import lint_paths, render_json, render_text
     result = lint_paths(args.paths, strict=args.strict,
@@ -495,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="frames per latency probe")
     track_p.add_argument("--max-regress-pct", type=float, default=10.0,
                          help="p99 regression tolerance in percent")
+    track_p.add_argument("--wallclock", action="store_true",
+                         help="add the fleet shard-scaling wall-clock "
+                              "probes (machine-dependent; never "
+                              "regression-gated)")
 
     serve_p = sub.add_parser(
         "serve-sim", help="run the dynamic-batching serving simulator")
@@ -546,6 +651,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--retries", type=int, default=4,
                          help="per-request re-dispatch budget "
                               "(default 4)")
+    serve_p.add_argument("--cells", type=int, default=0,
+                         help="partition streams into this many fleet "
+                              "cells (enables the sharded fleet "
+                              "simulator; default 4 when only "
+                              "--shards/--autoscale given)")
+    serve_p.add_argument("--shards", type=int, default=1,
+                         help="worker processes for the fleet cells; "
+                              "merged metrics are byte-identical for "
+                              "any shard count")
+    serve_p.add_argument("--autoscale", action="store_true",
+                         help="enable the SLO-burn autoscaler "
+                              "(fleet mode)")
+    serve_p.add_argument("--epoch-s", type=float, default=1.0,
+                         help="autoscaler decision epoch in simulated "
+                              "seconds (default 1.0)")
+    serve_p.add_argument("--max-replicas", type=int, default=3,
+                         help="autoscaler per-cell replica ceiling "
+                              "(default 3)")
+    serve_p.add_argument("--ramp", default="1.0",
+                         help="comma-separated arrival-rate "
+                              "multipliers over equal run segments "
+                              "(e.g. 1,3,1)")
     serve_p.add_argument("--out", default=None,
                          help="write the summary / recovery-metrics "
                               "JSON here")

@@ -37,6 +37,49 @@ from .spec import SERVER_KINDS, FaultKind, FaultSpec
 DOWNTIME_SPREAD_LO = 0.5
 
 
+#: A fleet-level fault entry: ``(cell, spec)`` confines a server-level
+#: fault to one cell's replica pool.
+CellFault = Tuple[int, FaultSpec]
+
+
+def cell_fault_plan(faults: Sequence[CellFault], num_cells: int,
+                    replicas_per_cell: int
+                    ) -> Dict[int, Tuple[FaultSpec, ...]]:
+    """Split shard-scoped faults into per-cell fault streams.
+
+    Each entry targets one cell of the sharded fleet; the spec's
+    ``replica`` indexes *within* that cell's pool.  Validates both
+    coordinates up front (a fault aimed at a cell or replica the fleet
+    does not have is a config bug, not a silent no-op) and returns a
+    dict keyed by cell, each value ordered as given — per-cell fault
+    streams stay deterministic regardless of shard count.
+    """
+    if num_cells < 1:
+        raise ConfigError(f"need >= 1 cell, got {num_cells}")
+    if replicas_per_cell < 1:
+        raise ConfigError(
+            f"need >= 1 replica per cell, got {replicas_per_cell}")
+    plan: Dict[int, List[FaultSpec]] = {}
+    for entry in faults:
+        try:
+            cell, spec = entry
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"cell fault must be (cell, FaultSpec), got {entry!r}")
+        if not isinstance(cell, int) or isinstance(cell, bool) \
+                or not 0 <= cell < num_cells:
+            raise ConfigError(
+                f"cell fault targets cell {cell!r} but the fleet has "
+                f"{num_cells} cells")
+        plan.setdefault(cell, []).append(spec)
+    out: Dict[int, Tuple[FaultSpec, ...]] = {}
+    for cell in sorted(plan):
+        specs = tuple(plan[cell])
+        ServerFaultStream(specs).validate_replicas(replicas_per_cell)
+        out[cell] = specs
+    return out
+
+
 class ServerFaultStream:
     """Deterministic per-replica fault timeline for one cluster run."""
 

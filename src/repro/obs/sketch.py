@@ -160,6 +160,48 @@ class QuantileSketch:
             acc = sk if acc is None else acc.merge(sk)
         return acc
 
+    # -- pure-data transfer --------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-able full state (unlike :meth:`snapshot`, which is a
+        lossy summary).  ``from_state(state())`` reproduces the sketch
+        exactly, including its phase — the cross-process transfer
+        format the fleet shard merge rides on."""
+        return {
+            "bounds": [float(b) for b in self.bounds],
+            "counts": [int(c) for c in self.counts],
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.min == math.inf else self.min,
+            "max": None if self.max == -math.inf else self.max,
+            "dropped": self.dropped,
+            "buffer_cap": self.buffer_cap,
+            "buffer": None if self._buffer is None
+            else list(self._buffer),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`state` output."""
+        try:
+            out = cls(state["bounds"], state["buffer_cap"])
+            out.counts = np.asarray(state["counts"], dtype=np.int64)
+            out.count = int(state["count"])
+            out.total = float(state["total"])
+            out.min = math.inf if state["min"] is None \
+                else float(state["min"])
+            out.max = -math.inf if state["max"] is None \
+                else float(state["max"])
+            out.dropped = int(state["dropped"])
+            out._buffer = None if state["buffer"] is None \
+                else [float(v) for v in state["buffer"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"malformed sketch state: {exc}") from exc
+        if len(out.counts) != len(out.bounds) + 1:
+            raise ConfigError("sketch state counts/bounds mismatch")
+        return out
+
     # -- summaries -----------------------------------------------------------
 
     def quantile(self, q: float) -> float:

@@ -18,6 +18,10 @@ from .admission import (AdmissionController, AdmissionPolicy,
 from .simulator import ServingConfig, ServingReport, ServingSimulator
 from .cluster import (ClusterConfig, ClusterReport, ClusterSimulator,
                       ReplicaSpec, RouterPolicy, default_chaos_faults)
+from .fleet import (AutoscalePolicy, Autoscaler, FleetReport,
+                    FleetSimConfig, FleetSimulator, cell_streams,
+                    generate_fleet_arrivals, merge_cell_reports,
+                    stream_cell)
 
 __all__ = [
     "Request", "ShedReason", "generate_arrivals",
@@ -26,4 +30,7 @@ __all__ = [
     "ServingConfig", "ServingReport", "ServingSimulator",
     "ClusterConfig", "ClusterReport", "ClusterSimulator",
     "ReplicaSpec", "RouterPolicy", "default_chaos_faults",
+    "AutoscalePolicy", "Autoscaler", "FleetReport", "FleetSimConfig",
+    "FleetSimulator", "cell_streams", "generate_fleet_arrivals",
+    "merge_cell_reports", "stream_cell",
 ]

@@ -62,7 +62,10 @@ from .request import Request, generate_arrivals
 _INF = float("inf")
 
 #: Checkpoint payload version (``ClusterSimulator.snapshot``).
-SNAPSHOT_SCHEMA = 1
+#: v2 adds the live replica pool (specs + retiring flags) so a
+#: snapshot taken after ``add_replica``/``drain_replica`` restores
+#: the scaled pool, not the config's initial one.
+SNAPSHOT_SCHEMA = 2
 
 #: Shed/loss reasons tallied by the cluster router.
 SHED_REASONS = ("queue_full", "deadline", "no_replica",
@@ -391,34 +394,49 @@ class ClusterSimulator:
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 batching: Optional[BatchingModel] = None) -> None:
+                 batching: Optional[BatchingModel] = None,
+                 arrivals: Optional[Sequence[Request]] = None) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.batching = batching if batching is not None \
             else BatchingModel()
         cfg = self.config
         self.deadline_ms = cfg.resolved_deadline_ms
         self.faults = ServerFaultStream(cfg.faults)
-        self._models = [model_spec(r.model) for r in cfg.replicas]
-        self._devices = [device_spec(r.device) for r in cfg.replicas]
+        #: The live pool; grows via :meth:`add_replica`.  The config's
+        #: ``replicas`` tuple stays the initial pool.
+        self._live_specs: List[ReplicaSpec] = list(cfg.replicas)
+        self._models = [model_spec(r.model) for r in self._live_specs]
+        self._devices = [device_spec(r.device)
+                         for r in self._live_specs]
         self.max_batch: List[int] = [
-            self._resolve_max_batch(i)
-            for i in range(len(cfg.replicas))]
+            self._resolve_max_batch(spec)
+            for spec in self._live_specs]
         self._lat_cache: List[Dict[int, float]] = [
-            {} for _ in cfg.replicas]
+            {} for _ in self._live_specs]
         self._envelope = AdaptiveEnvelope(
             envelope=cfg.timeout_envelope,
             floor_ms=cfg.timeout_floor_deadlines * self.deadline_ms)
         self._rng = make_rng(cfg.seed, "serving", "downtime")
-        self._arrivals = generate_arrivals(
-            cfg.num_streams, cfg.frame_rate, cfg.duration_s,
-            self.deadline_ms, jitter_ms=cfg.arrival_jitter_ms,
-            seed=cfg.seed)
+        if arrivals is None:
+            self._arrivals = generate_arrivals(
+                cfg.num_streams, cfg.frame_rate, cfg.duration_s,
+                self.deadline_ms, jitter_ms=cfg.arrival_jitter_ms,
+                seed=cfg.seed)
+            self._stream_ids: List[int] = list(range(cfg.num_streams))
+        else:
+            # Explicit schedule (fleet sharding: a cell serves a
+            # subset of global stream ids).  Must be time-ordered
+            # under the same total order generate_arrivals produces.
+            self._arrivals = sorted(
+                arrivals, key=lambda r: (r.arrival_ms, r.stream,
+                                         r.seq))
+            self._stream_ids = sorted({r.stream
+                                       for r in self._arrivals})
         self._s: Optional[dict] = None
 
     # -- per-replica latency model -------------------------------------------
 
-    def _resolve_max_batch(self, replica: int) -> int:
-        spec = self.config.replicas[replica]
+    def _resolve_max_batch(self, spec: ReplicaSpec) -> int:
         if spec.max_batch is not None:
             return min(spec.max_batch, spec.queue_capacity)
         budget = self.deadline_ms * self.config.batch_budget_fraction
@@ -474,17 +492,107 @@ class ClusterSimulator:
             raise BenchmarkError("nothing to resume: run() not started")
         return self.run()
 
+    # -- elastic pool (autoscaling) ------------------------------------------
+
+    @property
+    def live_report(self) -> Optional[ClusterReport]:
+        """The in-progress report (None before the run starts)."""
+        return None if self._s is None else self._s["report"]
+
+    @property
+    def active_replicas(self) -> int:
+        """Replicas currently accepting new work (not retiring)."""
+        return len(self.active_indices())
+
+    def active_indices(self) -> List[int]:
+        """Indices of replicas that are not retiring."""
+        if self._s is None:
+            return list(range(len(self._live_specs)))
+        return [i for i, rep in enumerate(self._s["replicas"])
+                if not rep["retiring"]]
+
+    def add_replica(self, spec: ReplicaSpec) -> int:
+        """Grow the pool by one replica mid-run; returns its index.
+
+        The new replica starts idle and fault-free (the configured
+        fault stream is indexed by the *initial* pool) and becomes
+        routable for the very next event.
+        """
+        if not isinstance(spec, ReplicaSpec):
+            raise BenchmarkError(f"not a ReplicaSpec: {spec!r}")
+        if self._s is None:
+            self._start()
+        idx = len(self._live_specs)
+        self._live_specs.append(spec)
+        self._models.append(model_spec(spec.model))
+        self._devices.append(device_spec(spec.device))
+        self.max_batch.append(self._resolve_max_batch(spec))
+        self._lat_cache.append({})
+        self._s["replicas"].append(
+            {"batcher": self._make_batcher(idx), "in_flight": None,
+             "down_until": None, "crash_idx": 0, "retiring": False})
+        report = self._s["report"]
+        report.replicas.append(spec.label)
+        report.replica_completed[idx] = 0
+        report.replica_batches[idx] = 0
+        report.replica_busy_ms[idx] = 0.0
+        report.replica_down_ms[idx] = 0.0
+        report.replica_crashes[idx] = 0
+        return idx
+
+    def drain_replica(self, replica: int) -> int:
+        """Retire ``replica``: stop routing to it, move its queued
+        requests to live replicas through the router, and let any
+        in-flight batch finish.  Returns how many queued requests
+        moved.  Draining never consumes a request's re-dispatch
+        budget — the drain is the cluster's choice, not a failure of
+        the request — so a drain alone can never shed work.
+        """
+        if self._s is None:
+            raise BenchmarkError("drain before run() started")
+        if not 0 <= replica < len(self._live_specs):
+            raise BenchmarkError(f"no replica {replica} to drain")
+        rep = self._s["replicas"][replica]
+        if rep["retiring"]:
+            return 0
+        rep["retiring"] = True
+        t = self._s["now"]
+        victims = rep["batcher"].drain()
+        victims.sort(key=lambda r: (r.arrival_ms, r.stream, r.seq))
+        moved = 0
+        for req in victims:
+            meta = self._s["meta"].get((req.stream, req.seq))
+            if meta is None:
+                continue  # cancelled hedge copy riding the queue
+            meta["locations"] = [loc for loc in meta["locations"]
+                                 if loc[1] != replica]
+            if meta["locations"]:
+                continue  # a live copy elsewhere still races
+            routable = self._routable(t)
+            if routable:
+                self._place(req, meta, self._choose(routable, t), t)
+            else:
+                # No live home right now: park it in the retry backlog
+                # without backoff or budget — it re-places as soon as
+                # a replica frees up.
+                meta["timeout_at"] = None
+                meta["hedge_at"] = None
+                bisect.insort(self._s["retry"],
+                              [t, req.stream, req.seq])
+            moved += 1
+        return moved
+
     def _start(self) -> None:
         cfg = self.config
         report = ClusterReport(
             router=cfg.router.value,
-            replicas=[r.label for r in cfg.replicas],
+            replicas=[r.label for r in self._live_specs],
             deadline_ms=self.deadline_ms)
         report.generated = len(self._arrivals)
-        for stream in range(cfg.num_streams):
+        for stream in self._stream_ids:
             report.per_stream_completed[stream] = 0
             report.per_stream_shed[stream] = 0
-        for r in range(len(cfg.replicas)):
+        for r in range(len(self._live_specs)):
             report.replica_completed[r] = 0
             report.replica_batches[r] = 0
             report.replica_busy_ms[r] = 0.0
@@ -500,8 +608,9 @@ class ClusterSimulator:
                 {"batcher": self._make_batcher(r),
                  "in_flight": None,
                  "down_until": None,
-                 "crash_idx": 0}
-                for r in range(len(cfg.replicas))],
+                 "crash_idx": 0,
+                 "retiring": False}
+                for r in range(len(self._live_specs))],
             "meta": {},
             "retry": [],
             "crash_events": [],
@@ -509,7 +618,7 @@ class ClusterSimulator:
         }
 
     def _make_batcher(self, replica: int) -> MicroBatcher:
-        spec = self.config.replicas[replica]
+        spec = self._live_specs[replica]
         cap = self.max_batch[replica]
         return MicroBatcher(
             cap, lambda b, _r=replica: self.batch_latency_ms(_r, b),
@@ -523,8 +632,10 @@ class ClusterSimulator:
     def _routable(self, t_ms: float,
                   exclude: Tuple[int, ...] = ()) -> List[int]:
         out = []
-        for r in range(len(self.config.replicas)):
+        for r in range(len(self._live_specs)):
             if r in exclude or not self._up(r):
+                continue
+            if self._s["replicas"][r]["retiring"]:
                 continue
             if self.faults.partitioned(r, t_ms):
                 continue
@@ -547,7 +658,7 @@ class ClusterSimulator:
             return min(routable,
                        key=lambda r: (self.predicted_done_ms(r, t_ms),
                                       r))
-        n = len(self.config.replicas)
+        n = len(self._live_specs)
         cursor = self._s["rr_cursor"]
         for step in range(n):
             r = (cursor + step) % n
@@ -793,8 +904,10 @@ class ClusterSimulator:
         routable = self._routable(t)
         if not routable:
             any_up = any(
-                self._up(r) and not self.faults.partitioned(r, t)
-                for r in range(len(self.config.replicas)))
+                self._up(r)
+                and not self._s["replicas"][r]["retiring"]
+                and not self.faults.partitioned(r, t)
+                for r in range(len(self._live_specs)))
             reason = "queue_full" if any_up else "no_replica"
             report.shed[reason] += 1
             report.per_stream_shed[req.stream] += 1
@@ -923,6 +1036,10 @@ class ClusterSimulator:
             "arr_i": s["arr_i"],
             "last_done": s["last_done"],
             "rr_cursor": s["rr_cursor"],
+            "specs": [
+                [spec.model, spec.device, spec.queue_capacity,
+                 spec.max_batch]
+                for spec in self._live_specs],
             "replicas": [
                 {"queue": rep["batcher"].state(),
                  "in_flight": None if rep["in_flight"] is None else {
@@ -932,7 +1049,8 @@ class ClusterSimulator:
                      "batch": [req_tuple(r)
                                for r in rep["in_flight"]["batch"]]},
                  "down_until": rep["down_until"],
-                 "crash_idx": rep["crash_idx"]}
+                 "crash_idx": rep["crash_idx"],
+                 "retiring": rep["retiring"]}
                 for rep in s["replicas"]],
             "meta": [
                 [list(key),
@@ -953,15 +1071,27 @@ class ClusterSimulator:
 
     @classmethod
     def restore(cls, config: ClusterConfig, snap: dict,
-                batching: Optional[BatchingModel] = None
+                batching: Optional[BatchingModel] = None,
+                arrivals: Optional[Sequence[Request]] = None
                 ) -> "ClusterSimulator":
         """Revive a :meth:`snapshot` under the same config; the
         resumed run is byte-identical to the uninterrupted one."""
         if snap.get("schema") != SNAPSHOT_SCHEMA:
             raise BenchmarkError(
                 f"unsupported snapshot schema {snap.get('schema')!r}")
-        sim = cls(config, batching=batching)
+        sim = cls(config, batching=batching, arrivals=arrivals)
         snap = copy.deepcopy(snap)
+
+        # The snapshot's live pool wins over the config's initial one
+        # (the run may have scaled since it started).
+        specs = [ReplicaSpec(model=m, device=d, queue_capacity=int(qc),
+                             max_batch=None if mb is None else int(mb))
+                 for m, d, qc, mb in snap["specs"]]
+        sim._live_specs = specs
+        sim._models = [model_spec(s.model) for s in specs]
+        sim._devices = [device_spec(s.device) for s in specs]
+        sim.max_batch = [sim._resolve_max_batch(s) for s in specs]
+        sim._lat_cache = [{} for _ in specs]
 
         def req(parts: Sequence[Union[int, float]]) -> Request:
             stream, seq, arrival, deadline = parts
@@ -982,7 +1112,8 @@ class ClusterSimulator:
             replicas.append({"batcher": batcher,
                              "in_flight": flight,
                              "down_until": rep_snap["down_until"],
-                             "crash_idx": rep_snap["crash_idx"]})
+                             "crash_idx": rep_snap["crash_idx"],
+                             "retiring": rep_snap["retiring"]})
         meta = {}
         for key_parts, m in snap["meta"]:
             m["request"] = req(m["request"])

@@ -7,7 +7,7 @@ from repro.bench.parallel import chunked, default_workers, parallel_map
 from repro.bench.runner import ExperimentResult, ExperimentRunner
 from repro.bench.stats import (bootstrap_ci, relative_spread,
                                summarize_samples)
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, ConfigError
 
 
 class TestStats:
@@ -81,8 +81,16 @@ class TestParallelMap:
             parallel_map(_fail_on_three, list(range(8)), workers=2)
 
     def test_workers_validation(self):
-        with pytest.raises(BenchmarkError):
+        with pytest.raises(ConfigError):
             parallel_map(_square, [1], workers=0)
+
+    def test_workers_validated_even_for_empty_input(self):
+        # A bad worker count is a config bug whether or not there is
+        # work; it must not be masked by the empty-input early return.
+        with pytest.raises(ConfigError):
+            parallel_map(_square, [], workers=0)
+        with pytest.raises(ConfigError):
+            parallel_map(_square, [1], workers=2.5)
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1

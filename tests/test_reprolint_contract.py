@@ -15,11 +15,12 @@ import textwrap
 from repro.analysis import lint_paths
 
 REGISTRY = '''
-from . import exp_alpha, exp_beta, exp_serving_chaos
+from . import exp_alpha, exp_beta, exp_fleet_scale, exp_serving_chaos
 
 FAST_EXPERIMENTS = {
     "exp_alpha": exp_alpha.run,
     "exp_serving_chaos": exp_serving_chaos.run,
+    "exp_fleet_scale": exp_fleet_scale.run,
 }
 
 SLOW_EXPERIMENTS = {
@@ -42,9 +43,16 @@ CLI = '''
 def build_parser(sub):
     sub.add_parser("run", help="run")
     sub.add_parser("lint", help="lint")
+    sub.add_parser("serve-sim", help="fleet")
 '''
 
 README = """
+Usage: repro run <id> and repro lint [--strict].
+Fleet mode: repro serve-sim --cells 4 --shards 2 --autoscale.
+"""
+
+#: README that never mentions the fleet subcommand — RL102 bait.
+README_NO_SERVE_SIM = """
 Usage: repro run <id> and repro lint [--strict].
 """
 
@@ -52,6 +60,7 @@ EXPERIMENTS_MD = """
 ## exp_alpha results
 ## exp_beta results
 ## exp_serving_chaos results
+## exp_fleet_scale results
 """
 
 #: Docs that mention the chaos experiment's *prefix* but never the
@@ -60,6 +69,7 @@ EXPERIMENTS_MD_PREFIX_ONLY = """
 ## exp_alpha results
 ## exp_beta results
 ## exp_serving results
+## exp_fleet_scale results
 """
 
 METRICS_USER = '''
@@ -72,7 +82,8 @@ def instrument(metrics, bus):
 
 def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
                no_claims=False, undocumented_cli=False,
-               drop_chaos_golden=False, docs_prefix_only=False,
+               drop_chaos_golden=False, drop_fleet_golden=False,
+               docs_prefix_only=False, undocumented_serve_sim=False,
                metrics_src=METRICS_USER):
     (tmp_path / "pyproject.toml").write_text("[project]\n")
     pkg = tmp_path / "src" / "repro"
@@ -83,6 +94,8 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
         EXPERIMENT_NO_CLAIMS if no_claims else EXPERIMENT))
     (exp / "exp_beta.py").write_text(textwrap.dedent(EXPERIMENT))
     (exp / "exp_serving_chaos.py").write_text(
+        textwrap.dedent(EXPERIMENT))
+    (exp / "exp_fleet_scale.py").write_text(
         textwrap.dedent(EXPERIMENT))
     cli = textwrap.dedent(CLI)
     if undocumented_cli:
@@ -95,7 +108,10 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
         (golden / "exp_alpha.json").write_text("{}")
     if not drop_chaos_golden:
         (golden / "exp_serving_chaos.json").write_text("{}")
-    (tmp_path / "README.md").write_text(README)
+    if not drop_fleet_golden:
+        (golden / "exp_fleet_scale.json").write_text("{}")
+    (tmp_path / "README.md").write_text(
+        README_NO_SERVE_SIM if undocumented_serve_sim else README)
     if drop_docs:
         (tmp_path / "EXPERIMENTS.md").write_text("# empty\n")
     elif docs_prefix_only:
@@ -136,7 +152,7 @@ class TestExperimentArtifacts:
         root = build_repo(tmp_path, drop_docs=True)
         res = contract_lint(root)
         ids = [v.rule_id for v in res.violations]
-        assert ids == ["RL101"] * 3  # all experiments undocced
+        assert ids == ["RL101"] * 4  # all experiments undocced
         assert all("EXPERIMENTS.md" in v.message
                    for v in res.violations)
 
@@ -156,6 +172,13 @@ class TestExperimentArtifacts:
         assert "exp_serving_chaos" in res.violations[0].message
         assert "EXPERIMENTS.md" in res.violations[0].message
 
+    def test_deleted_fleet_golden_fires_rl101(self, tmp_path):
+        root = build_repo(tmp_path, drop_fleet_golden=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL101"]
+        assert "exp_fleet_scale" in res.violations[0].message
+        assert "golden" in res.violations[0].message
+
     def test_empty_claims_fires_rl101(self, tmp_path):
         root = build_repo(tmp_path, no_claims=True)
         res = contract_lint(root)
@@ -169,6 +192,14 @@ class TestCliDocumented:
         res = contract_lint(root)
         assert [v.rule_id for v in res.violations] == ["RL102"]
         assert "'hidden'" in res.violations[0].message
+
+    def test_undocumented_serve_sim_fires_rl102(self, tmp_path):
+        # The fleet entry point is under the same README contract as
+        # every other subcommand.
+        root = build_repo(tmp_path, undocumented_serve_sim=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL102"]
+        assert "'serve-sim'" in res.violations[0].message
 
     def test_documented_subcommands_pass(self, tmp_path):
         root = build_repo(tmp_path)
