@@ -1,4 +1,4 @@
-"""Repo-contract rules (RL101–RL103): cross-artifact consistency.
+"""Repo-contract rules (RL101–RL104): cross-artifact consistency.
 
 Single-file AST rules cannot see that an experiment lost its golden,
 or that a CLI subcommand never made it into the README.  These rules
@@ -11,6 +11,8 @@ RL101     every registered experiment has a golden, an EXPERIMENTS.md
 RL102     every CLI subcommand is documented in README.md
 RL103     telemetry/metric names are unique and follow the
           ``stage.metric`` convention
+RL104     a ``profile`` CLI subcommand ships with a valid committed
+          profile baseline (``profile_baseline/PROFILE_baseline.json``)
 ========  ==========================================================
 
 Each rule degrades gracefully: when the artifact it cross-checks does
@@ -21,6 +23,7 @@ absence of the registry is not a lint error, only *inconsistency* is.
 from __future__ import annotations
 
 import ast
+import json
 import os
 import re
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -288,3 +291,72 @@ class TelemetryNamingRule(Rule):
                             rel, node.lineno, node.col_offset,
                             f"telemetry stage {stage!r} is not a "
                             f"single lowercase token")
+
+
+@register
+class ProfileBaselineRule(Rule):
+    """RL104 — the profile gate needs its committed baseline.
+
+    ``repro profile --diff`` only catches regressions when there is a
+    pinned reference to diff against.  Whenever ``cli.py`` exposes a
+    ``profile`` subcommand, the repo must commit a loadable profile
+    document at ``profile_baseline/PROFILE_baseline.json``: strict
+    JSON, the current schema, deterministic (tick-clock captured — a
+    wall-clock baseline would gate on machine speed), and a non-empty
+    path table.  Silent when there is no CLI or no ``profile``
+    subcommand, matching the other contract rules.
+    """
+
+    rule_id = "RL104"
+    title = "profile CLI without valid committed baseline"
+    rationale = ("a profile gate without a committed deterministic "
+                 "baseline cannot catch hot-path regressions")
+    scope = "repo"
+
+    cli_suffix = "repro/cli.py"
+    baseline_rel = "profile_baseline/PROFILE_baseline.json"
+
+    def check_repo(self, ctx: RepoContext) -> Iterator[Violation]:
+        cli = _find_file(ctx, self.cli_suffix)
+        if cli is None:
+            return
+        lines = [ln for name, ln in _subcommands(cli.tree)
+                 if name == "profile"]
+        if not lines:
+            return
+        line = lines[0]
+        path = os.path.join(ctx.root, *self.baseline_rel.split("/"))
+        if not os.path.isfile(path):
+            yield self.violation(
+                cli.path, line, 0,
+                f"CLI defines 'profile' but no baseline exists at "
+                f"{self.baseline_rel} — capture one with "
+                f"'repro profile --out {self.baseline_rel}'")
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except ValueError as exc:
+            yield self.violation(
+                self.baseline_rel, 1, 0,
+                f"profile baseline is not valid JSON: {exc}")
+            return
+        problem = _baseline_problem(doc)
+        if problem is not None:
+            yield self.violation(self.baseline_rel, 1, 0,
+                                 f"profile baseline {problem}")
+
+
+def _baseline_problem(doc: object) -> Optional[str]:
+    """Why ``doc`` is not a gateable baseline, or None when it is."""
+    if not isinstance(doc, dict):
+        return "must be a JSON object"
+    if doc.get("schema") != 1:
+        return f"has schema {doc.get('schema')!r}, expected 1"
+    if doc.get("deterministic") is not True:
+        return ("is not deterministic — wall-clock baselines gate on "
+                "machine speed; recapture without --wallclock")
+    paths = doc.get("paths")
+    if not isinstance(paths, dict) or not paths:
+        return "has an empty or missing 'paths' table"
+    return None

@@ -59,17 +59,25 @@ class _TracedTask:
     """
 
     def __init__(self, fn: Callable, context: Optional[TraceContext],
-                 index: int, traced: bool, telemetry: bool) -> None:
+                 index: int, traced: bool, telemetry: bool,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.fn = fn
         self.context = context
         self.index = index
         self.traced = traced
         self.telemetry = telemetry
+        #: Worker-local clock (a spawned deterministic tick clock when
+        #: the parent profiles; None → the default wall clock).
+        self.clock = clock
 
     def __call__(self, item):
-        tracer = Tracer(context=self.context,
-                        id_prefix=f"w{self.index}-") if self.traced \
-            else current_tracer()
+        if self.traced:
+            kwargs = {} if self.clock is None \
+                else {"clock": self.clock}
+            tracer = Tracer(context=self.context,
+                            id_prefix=f"w{self.index}-", **kwargs)
+        else:
+            tracer = current_tracer()
         bus = TelemetryBus() if self.telemetry else current_telemetry()
         with use_tracer(tracer), use_telemetry(bus):
             if self.traced:
@@ -132,8 +140,14 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         pool = ProcessPoolExecutor(max_workers=n_workers)
         try:
             if observed:
+                # Deterministic tick clocks propagate into workers:
+                # each gets a fresh spawn so worker spans tick exactly
+                # as the serial path would (profiles stay byte-equal).
+                spawn = getattr(tracer.clock, "spawn", None) \
+                    if traced else None
                 futures = [pool.submit(
-                    _TracedTask(fn, context, i, traced, bus.enabled),
+                    _TracedTask(fn, context, i, traced, bus.enabled,
+                                clock=spawn() if spawn else None),
                     item) for i, item in enumerate(items)]
             else:
                 futures = [pool.submit(fn, item) for item in items]

@@ -1,0 +1,144 @@
+"""Profile capture: run targets under the tick clock, emit profiles.
+
+``repro profile`` needs something to attribute, so a *target* is either
+a registered fast experiment id (run through the normal
+:class:`~repro.bench.runner.ExperimentRunner` span root) or one of two
+dedicated probes covering hot paths no fast experiment reaches:
+
+* ``nn_forward`` — a small conv stack forward pass, exercising the
+  ``nn.conv2d`` / ``nn.im2col`` / ``nn.gemm`` span chain;
+* ``fleet_cells`` — the sharded fleet simulation from the bench-track
+  probe suite, exercising the cluster event loop, ``fleet.cell``
+  worker bodies and the canonical ``fleet.merge``.
+
+Captures default to the deterministic :class:`~repro.obs.profile.
+TickClock` (span duration = instrumented clock reads), which is what
+makes the committed ``profile_baseline/PROFILE_baseline.json`` a
+byte-stable, CI-gateable artifact; ``wallclock=True`` swaps in the
+real clock for on-machine profiling and marks the document ungateable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BenchmarkError
+from ..io.jsonio import dump_json
+from ..obs import (Profile, TickClock, Tracer, build_profile,
+                   load_profile_document, profile_document, use_tracer)
+from ..rng import make_rng
+
+#: Where the pinned CI reference profile lives.
+DEFAULT_BASELINE_DIR = "profile_baseline"
+DEFAULT_BASELINE_PATH = os.path.join(DEFAULT_BASELINE_DIR,
+                                     "PROFILE_baseline.json")
+
+#: Default output location for captured profiles.
+DEFAULT_OUT_DIR = "profiles"
+
+
+def _probe_nn_forward(shards: int) -> None:
+    """Forward a small conv stack (im2col + GEMM hot path)."""
+    del shards  # single-process by nature
+    from ..nn.layers import Conv2d
+    conv1 = Conv2d(3, 8, 3, rng=make_rng(7, "profile-nn", "conv1"))
+    conv2 = Conv2d(8, 16, 3, stride=2,
+                   rng=make_rng(7, "profile-nn", "conv2"))
+    x = make_rng(7, "profile-nn", "input").standard_normal(
+        (2, 3, 16, 16)).astype(np.float32)
+    for _ in range(3):
+        h = conv1.forward(x, training=False)
+        conv2.forward(h, training=False)
+
+
+def _probe_fleet_cells(shards: int) -> None:
+    """The bench-track fleet probe, shard-fanned when asked."""
+    from ..serving import FleetSimulator
+    from .trajectory import _fleet_sim_config
+    FleetSimulator(_fleet_sim_config(shards=shards)).run()
+
+
+#: Probe targets: name → callable(shards).  Experiments ignore shards;
+#: probes that are single-process by nature ignore it too.
+PROBES: Dict[str, Callable[[int], None]] = {
+    "nn_forward": _probe_nn_forward,
+    "fleet_cells": _probe_fleet_cells,
+}
+
+#: The committed-baseline target set: serving event loop, fleet
+#: merge/event loop, renderer rasterization (via ablation_pipeline's
+#: dataset build), and the im2col/GEMM conv path.
+BASELINE_TARGETS: Tuple[str, ...] = (
+    "ablation_pipeline", "exp_serving", "fleet_cells", "nn_forward")
+
+
+def resolve_targets(targets: Sequence[str]) -> List[str]:
+    """Validate target names (experiments or probes); keeps order."""
+    from .experiments.registry import EXPERIMENTS
+    out = list(targets) if targets else list(BASELINE_TARGETS)
+    unknown = [t for t in out
+               if t not in PROBES and t not in EXPERIMENTS]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown profile target(s): {unknown}; targets are "
+            f"experiment ids (see `repro list`) or probes "
+            f"{sorted(PROBES)}")
+    return out
+
+
+def capture_profile(targets: Sequence[str], shards: int = 1,
+                    wallclock: bool = False) -> Profile:
+    """Run every target under one tracer; aggregate the spans.
+
+    Probes run inside a ``probe:<name>`` root span; experiments run
+    through :func:`run_experiment`, which roots them at
+    ``experiment:<id>``.  With the default tick clock the resulting
+    profile is byte-identical across reruns and shard counts.
+    """
+    from .experiments.registry import run_experiment
+    names = resolve_targets(targets)
+    if shards < 1:
+        raise BenchmarkError(f"need >= 1 shard, got {shards}")
+    tracer = Tracer() if wallclock else Tracer(clock=TickClock())
+    with use_tracer(tracer):
+        for name in names:
+            probe = PROBES.get(name)
+            if probe is not None:
+                with tracer.span(f"probe:{name}"):
+                    probe(shards)
+            else:
+                run_experiment(name, enforce_claims=False)
+    return build_profile(tracer.finished_spans(),
+                         quantize=not wallclock)
+
+
+def capture_document(targets: Sequence[str], shards: int = 1,
+                     wallclock: bool = False) -> dict:
+    """Capture and wrap as the machine-readable profile document."""
+    profile = capture_profile(targets, shards=shards,
+                              wallclock=wallclock)
+    return profile_document(profile, targets=resolve_targets(targets),
+                            deterministic=not wallclock)
+
+
+def write_profile(path: str, doc: dict) -> str:
+    """Write a profile document (sorted-keys strict JSON); returns
+    the path.  Byte-stable: same document, same bytes."""
+    return dump_json(path, doc)
+
+
+def load_profile(path: str) -> dict:
+    """Load and validate a profile document from disk."""
+    if not os.path.exists(path):
+        raise BenchmarkError(f"no profile at {path}")
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except ValueError as exc:
+            raise BenchmarkError(
+                f"malformed profile JSON at {path}: {exc}") from exc
+    return load_profile_document(doc)

@@ -7,7 +7,16 @@ Commands:
   markdown reports (claims are enforced unless ``--no-enforce``);
 * ``trace <experiment-id>`` — run one experiment under the span
   tracer; print the aggregated span tree (inclusive/exclusive wall
-  times) and write a Chrome ``trace_event`` JSON file;
+  times) and write a Chrome ``trace_event`` JSON file; ``--json``
+  prints the same span-closure records as a machine-readable profile
+  document (the schema ``repro profile`` writes) instead of the table;
+* ``profile [target ...]`` — run targets (experiment ids or the
+  ``nn_forward``/``fleet_cells`` probes) under the deterministic tick
+  clock, print the ranked hotspot table and write the profile JSON
+  plus optional folded-stacks flamegraph output;
+  ``--diff BASE HEAD`` instead compares two profile documents and
+  exits non-zero when any tracked path's self-time p50 regresses past
+  the tolerance (the CI profile gate);
 * ``monitor <experiment-id>`` — run an experiment under the telemetry
   bus and replay it as a fleet dashboard (per-device percentiles, SLO
   burn rates, health states); ``--spike`` injects a thermal-throttle
@@ -41,6 +50,15 @@ import sys
 from typing import List, Optional
 
 from .errors import ReproError
+
+
+def _ensure_parent(path: str) -> str:
+    """Create ``path``'s parent directory so every ``--out`` flag can
+    point into a fresh directory instead of dying on FileNotFoundError
+    — one behaviour across trace/serve-sim/monitor/profile."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    return path
 
 
 def _cmd_list(_args) -> int:
@@ -83,42 +101,112 @@ def _cmd_run(args) -> int:
 
 def _cmd_trace(args) -> int:
     from .bench.experiments.registry import run_experiment
-    from .obs import (Tracer, aggregate_tree, exclusive_total_s,
-                      render_tree, use_tracer, write_chrome_trace,
+    from .io.jsonio import dumps_json
+    from .obs import (Tracer, aggregate_tree, build_profile,
+                      exclusive_total_s, profile_document, render_tree,
+                      use_tracer, write_chrome_trace,
                       write_spans_jsonl)
     tracer = Tracer()
     with use_tracer(tracer):
         result = run_experiment(args.experiment,
                                 enforce_claims=args.enforce)
     spans = tracer.finished_spans()
-    print(render_tree(spans))
+    if args.json:
+        # The same span-closure records the table prints, in the
+        # profile-document schema (wall-clock, so ungateable).
+        profile = build_profile(spans, quantize=False)
+        print(dumps_json(profile_document(
+            profile, targets=[args.experiment], deterministic=False)))
+    else:
+        print(render_tree(spans))
 
-    roots = aggregate_tree(spans)
-    incl = sum(r.inclusive_s for r in roots)
-    excl = sum(exclusive_total_s(r) for r in roots)
-    closure = 100.0 * excl / incl if incl > 0 else float("nan")
-    print(f"\nroot inclusive: {incl * 1e3:.2f} ms; "
-          f"exclusive sum: {excl * 1e3:.2f} ms "
-          f"({closure:.2f}% closure)")
+        roots = aggregate_tree(spans)
+        incl = sum(r.inclusive_s for r in roots)
+        excl = sum(exclusive_total_s(r) for r in roots)
+        closure = 100.0 * excl / incl if incl > 0 else float("nan")
+        print(f"\nroot inclusive: {incl * 1e3:.2f} ms; "
+              f"exclusive sum: {excl * 1e3:.2f} ms "
+              f"({closure:.2f}% closure)")
 
-    if result.metrics:
-        print("\nMetrics:")
-        for name, snap in result.metrics.items():
-            if snap.get("type") == "histogram":
-                quantiles = " ".join(
-                    f"{k}={snap[k]:.3f}" for k in snap
-                    if k[:1] == "p"
-                    and k[1:].replace(".", "", 1).isdigit())
-                print(f"  {name}: n={snap['count']} "
-                      f"mean={snap['mean']:.3f} {quantiles}")
-            else:
-                print(f"  {name}: {snap.get('value')}")
+        if result.metrics:
+            print("\nMetrics:")
+            for name, snap in result.metrics.items():
+                if snap.get("type") == "histogram":
+                    quantiles = " ".join(
+                        f"{k}={snap[k]:.3f}" for k in snap
+                        if k[:1] == "p"
+                        and k[1:].replace(".", "", 1).isdigit())
+                    print(f"  {name}: n={snap['count']} "
+                          f"mean={snap['mean']:.3f} {quantiles}")
+                else:
+                    print(f"  {name}: {snap.get('value')}")
 
     out = args.out if args.out else os.path.join(
         "traces", f"{args.experiment}_trace.json")
-    print(f"\nchrome trace: {write_chrome_trace(out, spans)}")
+    trace_path = write_chrome_trace(_ensure_parent(out), spans)
+    if not args.json:
+        print(f"\nchrome trace: {trace_path}")
     if args.jsonl:
-        print(f"span jsonl  : {write_spans_jsonl(args.jsonl, spans)}")
+        jsonl_path = write_spans_jsonl(_ensure_parent(args.jsonl),
+                                       spans)
+        if not args.json:
+            print(f"span jsonl  : {jsonl_path}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .bench import profiler
+    from .obs import (diff_profiles, folded_stacks,
+                      profile_regressions, render_profile)
+    if args.diff:
+        base_path, head_path = args.diff
+        base = profiler.load_profile(base_path)
+        head = profiler.load_profile(head_path)
+        rows = diff_profiles(base, head)
+        moved = [r for r in rows if r["status"] != "common"
+                 or r["delta_self_ms"]]
+        if moved:
+            print(f"{'path':<52s} {'base self':>10s} "
+                  f"{'head self':>10s} {'delta':>9s}")
+            for r in moved[:args.top]:
+                label = r["path"] if len(r["path"]) <= 52 \
+                    else "..." + r["path"][-49:]
+                print(f"{label:<52s} {r['base_self_ms']:>10.2f} "
+                      f"{r['head_self_ms']:>10.2f} "
+                      f"{r['delta_self_ms']:>+9.2f}")
+        else:
+            print("profiles are identical on every path")
+        regressions = profile_regressions(
+            base, head, max_regress_pct=args.max_regress_pct,
+            min_self_ms=args.min_self_ms)
+        if regressions:
+            print(f"self-time p50 REGRESSION vs {base_path} "
+                  f"(tolerance {args.max_regress_pct:g}%):",
+                  file=sys.stderr)
+            for r in regressions:
+                print(f"  {r['path']}: {r['baseline']:.2f} -> "
+                      f"{r['current']:.2f} ms "
+                      f"(+{r['regress_pct']:.1f}%)", file=sys.stderr)
+            return 1
+        print(f"no self-time p50 regression vs {base_path} "
+              f"(tolerance {args.max_regress_pct:g}%)")
+        return 0
+
+    from .obs import profile_document
+    targets = profiler.resolve_targets(args.targets)
+    profile = profiler.capture_profile(targets, shards=args.shards,
+                                       wallclock=args.wallclock)
+    doc = profile_document(profile, targets=targets,
+                           deterministic=not args.wallclock)
+    print(render_profile(profile, top=args.top))
+    out = args.out if args.out else os.path.join(
+        profiler.DEFAULT_OUT_DIR, "PROFILE_head.json")
+    print(f"\nprofile json : {profiler.write_profile(out, doc)}")
+    if args.folded:
+        with open(_ensure_parent(args.folded), "w",
+                  encoding="utf-8") as fh:
+            fh.write(folded_stacks(profile))
+        print(f"folded stacks: {args.folded}")
     return 0
 
 
@@ -189,9 +277,8 @@ def _cmd_monitor(args) -> int:
             print(f"  {device}: frame {t['frame']} "
                   f"{t['from']} -> {t['to']} ({t['reason']})")
     if args.out and frame is not None:
-        os.makedirs(os.path.dirname(os.path.abspath(args.out)),
-                    exist_ok=True)
-        with open(args.out, "w", encoding="utf-8") as fh:
+        with open(_ensure_parent(args.out), "w",
+                  encoding="utf-8") as fh:
             fh.write(frame.text + "\n")
         print(f"final frame: {args.out}")
     return 0
@@ -363,10 +450,8 @@ def _serve_sim_cluster(args) -> int:
               f"timeout re-routes, {rep.hedged} hedged "
               f"({rep.hedge_wins} wins)")
     if args.out:
-        parent = os.path.dirname(args.out)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(args.out, "w", encoding="utf-8") as fh:
+        with open(_ensure_parent(args.out), "w",
+                  encoding="utf-8") as fh:
             _json.dump(s, fh, indent=2, sort_keys=True)
         print(f"  wrote {args.out}")
     if args.check:
@@ -448,10 +533,8 @@ def _serve_sim_fleet(args) -> int:
                   f"{event['action']:>5s} -> "
                   f"{event['replicas_per_cell']} replica(s)/cell")
     if args.out:
-        parent = os.path.dirname(args.out)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(args.out, "w", encoding="utf-8") as fh:
+        with open(_ensure_parent(args.out), "w",
+                  encoding="utf-8") as fh:
             _json.dump(s, fh, indent=2, sort_keys=True)
         print(f"  wrote {args.out}")
     if args.check:
@@ -552,9 +635,48 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default traces/<id>_trace.json)")
     trace_p.add_argument("--jsonl", default=None,
                          help="also write spans as JSON-lines here")
+    trace_p.add_argument("--json", action="store_true",
+                         help="print the span-closure records as a "
+                              "profile-schema JSON document instead "
+                              "of the table")
     trace_p.add_argument("--no-enforce", dest="enforce",
                          action="store_false", default=True,
                          help="do not fail on violated paper claims")
+
+    prof_p = sub.add_parser(
+        "profile", help="deterministic hotspot profile: ranked table, "
+                        "folded stacks, diffable JSON")
+    prof_p.add_argument("targets", nargs="*",
+                        help="experiment ids and/or probes "
+                             "(nn_forward, fleet_cells); default: the "
+                             "committed-baseline target set")
+    prof_p.add_argument("--out", default=None,
+                        help="profile JSON output path (default "
+                             "profiles/PROFILE_head.json)")
+    prof_p.add_argument("--folded", default=None,
+                        help="also write folded-stacks (collapsed "
+                             "flamegraph format) here")
+    prof_p.add_argument("--top", type=int, default=20,
+                        help="rows in the hotspot/diff table "
+                             "(default 20)")
+    prof_p.add_argument("--shards", type=int, default=1,
+                        help="worker processes for shardable probes; "
+                             "profiles are byte-identical for any "
+                             "shard count")
+    prof_p.add_argument("--wallclock", action="store_true",
+                        help="profile with the real clock instead of "
+                             "the deterministic tick clock (machine-"
+                             "dependent; never regression-gated)")
+    prof_p.add_argument("--diff", nargs=2, default=None,
+                        metavar=("BASE.json", "HEAD.json"),
+                        help="compare two profile documents; exit "
+                             "non-zero on self-time p50 regression")
+    prof_p.add_argument("--max-regress-pct", type=float, default=10.0,
+                        help="p50 self-time regression tolerance in "
+                             "percent (default 10)")
+    prof_p.add_argument("--min-self-ms", type=float, default=2.0,
+                        help="gate only paths whose baseline self-"
+                             "time p50 is at least this (default 2)")
 
     mon_p = sub.add_parser(
         "monitor", help="replay an experiment's telemetry as a "
@@ -709,6 +831,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "profile": _cmd_profile,
     "monitor": _cmd_monitor,
     "bench-track": _cmd_bench_track,
     "serve-sim": _cmd_serve_sim,

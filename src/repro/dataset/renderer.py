@@ -33,6 +33,7 @@ from ..geometry.bbox import BBox
 from ..geometry.keypoints import NUM_KEYPOINTS, KeypointSet
 from ..image import draw, ops
 from ..image.augment import AdversarialKind, AugmentConfig, apply_adversarial
+from ..obs import current_tracer
 from ..rng import coerce_rng
 from .scene import CameraSpec, ObjectKind, SceneObject, SceneSpec
 from .taxonomy import Category
@@ -333,6 +334,16 @@ class SceneRenderer:
     def render(self, spec: SceneSpec,
                rng: Optional[np.random.Generator] = None) -> RenderedFrame:
         """Render a scene spec into a frame with exact ground truth."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._render(spec, rng)
+        with tracer.span("render.scene",
+                         subcategory=spec.subcategory_key):
+            return self._render(spec, rng)
+
+    def _render(self, spec: SceneSpec,
+                rng: Optional[np.random.Generator] = None
+                ) -> RenderedFrame:
         gen = coerce_rng(rng, "render", spec.subcategory_key)
         img, depth = self._background(spec)
 

@@ -15,6 +15,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..errors import ShapeError
+from ..obs import current_tracer
 from .init import he_init, xavier_init, zeros_init
 
 
@@ -88,6 +89,14 @@ class Conv2d(Layer):
                 f"{x.shape}")
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._forward(x, training)
+        with tracer.span("nn.conv2d", layer=self.name):
+            return self._forward(x, training)
+
+    def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        tracer = current_tracer()
         self._check_input(x)
         n, _, h, w = x.shape
         k, s, p = self.kernel, self.stride, self.padding
@@ -102,15 +111,19 @@ class Conv2d(Layer):
             raise ShapeError(
                 f"conv output empty for input {x.shape} (k={k}, s={s}, "
                 f"p={p})")
-        # (N, C, Ho*, Wo*, k, k) view; strided to the requested stride.
-        win = sliding_window_view(xp, (k, k), axis=(2, 3))[:, :, ::s, ::s]
-        # GEMM layout: rows = output positions, cols = receptive field.
-        cols = win.transpose(0, 2, 3, 1, 4, 5).reshape(
-            n * ho * wo, self.in_channels * k * k)
-        w_mat = self.weight.reshape(self.out_channels, -1)
-        out = cols @ w_mat.T
-        if self.bias is not None:
-            out += self.bias
+        with tracer.span("nn.im2col"):
+            # (N, C, Ho*, Wo*, k, k) view, strided to the requested
+            # stride; GEMM layout rows = output positions, cols =
+            # receptive field.
+            win = sliding_window_view(
+                xp, (k, k), axis=(2, 3))[:, :, ::s, ::s]
+            cols = win.transpose(0, 2, 3, 1, 4, 5).reshape(
+                n * ho * wo, self.in_channels * k * k)
+        with tracer.span("nn.gemm"):
+            w_mat = self.weight.reshape(self.out_channels, -1)
+            out = cols @ w_mat.T
+            if self.bias is not None:
+                out += self.bias
         out = out.reshape(n, ho, wo, self.out_channels)
         out = np.ascontiguousarray(out.transpose(0, 3, 1, 2),
                                    dtype=np.float32)

@@ -28,6 +28,11 @@ from .tracer import (NULL_SPAN, NULL_TRACER, NullTracer, Span,
 from .export import (aggregate_tree, chrome_trace, exclusive_total_s,
                      render_tree, spans_to_jsonl_rows,
                      write_chrome_trace, write_spans_jsonl)
+from .profile import (DEFAULT_MAX_REGRESS_PCT, DEFAULT_MIN_SELF_MS,
+                      PROFILE_SCHEMA, PathStats, Profile, TickClock,
+                      build_profile, diff_profiles, folded_stacks,
+                      load_profile_document, profile_document,
+                      profile_regressions, render_profile, span_paths)
 from .sketch import (DEFAULT_BUFFER_CAP, QuantileSketch, SlidingWindow,
                      WindowedCounter, WindowedSketch)
 from .telemetry import (Aggregator, NULL_TELEMETRY, NullTelemetryBus,
@@ -47,6 +52,11 @@ __all__ = [
     "aggregate_tree", "chrome_trace", "exclusive_total_s",
     "render_tree", "spans_to_jsonl_rows", "write_chrome_trace",
     "write_spans_jsonl",
+    "DEFAULT_MAX_REGRESS_PCT", "DEFAULT_MIN_SELF_MS",
+    "PROFILE_SCHEMA", "PathStats", "Profile", "TickClock",
+    "build_profile", "diff_profiles", "folded_stacks",
+    "load_profile_document", "profile_document",
+    "profile_regressions", "render_profile", "span_paths",
     "DEFAULT_BUFFER_CAP", "QuantileSketch", "SlidingWindow",
     "WindowedCounter", "WindowedSketch",
     "Aggregator", "NULL_TELEMETRY", "NullTelemetryBus",

@@ -227,12 +227,25 @@ class Tracer:
 
     def adopt(self, spans: List[Span]) -> None:
         """Merge finished spans recorded elsewhere (a worker process)
-        into this tracer's collection."""
+        into this tracer's collection.
+
+        When the clock is a deterministic tick clock (anything with an
+        ``advance_reads`` method, see :class:`repro.obs.profile.
+        TickClock`), adoption advances it by exactly the reads the
+        spans would have made in-process — two per span plus one per
+        event — so spans *enclosing* the adoption see the same
+        durations whether the work ran serially or in workers.
+        """
+        n_events = 0
         for sp in spans:
             if not sp.finished:
                 raise ConfigError(
                     f"cannot adopt unfinished span {sp.name!r}")
+            n_events += len(sp.events)
             self.spans.append(sp)
+        advance = getattr(self.clock, "advance_reads", None)
+        if advance is not None and spans:
+            advance(2 * len(spans) + n_events)
 
     # -- inspection ----------------------------------------------------------
 

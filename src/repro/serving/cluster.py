@@ -51,7 +51,7 @@ from ..faults.spec import FaultSpec
 from ..hardware.registry import device_spec
 from ..latency.batching import BatchingModel
 from ..models.spec import model_spec
-from ..obs import current_telemetry
+from ..obs import current_telemetry, current_tracer
 from ..obs.slo import SloPolicy, SloTracker
 from ..rng import make_rng
 from ..units import fps_to_period_ms
@@ -764,6 +764,18 @@ class ClusterSimulator:
                 consider(m["hedge_at"], _P_HEDGE, key=key)
         return best
 
+    #: Span name per event priority — the profiled event-loop surface.
+    _SPAN_NAMES = {
+        _P_COMPLETE: "cluster.on_complete",
+        _P_CRASH: "cluster.on_crash",
+        _P_RESTORE: "cluster.on_restore",
+        _P_RETRY: "cluster.on_retry",
+        _P_ARRIVAL: "cluster.on_arrival",
+        _P_TIMEOUT: "cluster.on_timeout",
+        _P_HEDGE: "cluster.on_hedge",
+        _P_DISPATCH: "cluster.on_dispatch",
+    }
+
     def _loop(self, pause_at_ms: Optional[float]) -> bool:
         """Process events until drained (True) or past the pause."""
         handlers = {
@@ -776,14 +788,20 @@ class ClusterSimulator:
             _P_HEDGE: self._on_hedge,
             _P_DISPATCH: self._on_dispatch,
         }
-        while True:
-            t, prio, replica, key = self._next_event()
-            if t == _INF:
-                return True
-            if pause_at_ms is not None and t > pause_at_ms:
-                return False
-            self._s["now"] = max(self._s["now"], t)
-            handlers[prio](self._s["now"], replica, key)
+        tracer = current_tracer()
+        with tracer.span("cluster.loop"):
+            while True:
+                t, prio, replica, key = self._next_event()
+                if t == _INF:
+                    return True
+                if pause_at_ms is not None and t > pause_at_ms:
+                    return False
+                self._s["now"] = max(self._s["now"], t)
+                if tracer.enabled:
+                    with tracer.span(self._SPAN_NAMES[prio]):
+                        handlers[prio](self._s["now"], replica, key)
+                else:
+                    handlers[prio](self._s["now"], replica, key)
 
     # -- event handlers ------------------------------------------------------
 

@@ -43,6 +43,7 @@ from ..errors import ConfigError
 from ..faults.server import CellFault, cell_fault_plan
 from ..obs.sketch import QuantileSketch
 from ..obs.slo import SloTracker
+from ..obs.tracer import current_tracer
 from ..rng import make_rng, seed_sequence
 from ..units import fps_to_period_ms
 from .admission import serving_slo_policy
@@ -417,6 +418,13 @@ def merge_cell_reports(
     ``asdict`` payloads (the cross-process form).  Cells are folded in
     sorted order regardless of dict insertion order.
     """
+    with current_tracer().span("fleet.merge", cells=len(reports)):
+        return _merge_cell_reports(cfg, reports)
+
+
+def _merge_cell_reports(
+        cfg: FleetSimConfig,
+        reports: Dict[int, Union[ClusterReport, dict]]) -> FleetReport:
     partition = cell_streams(cfg.num_streams, cfg.num_cells)
     fleet = FleetReport(
         num_cells=cfg.num_cells, num_streams=cfg.num_streams,
@@ -532,9 +540,14 @@ class Autoscaler:
 
 
 def _map_cells(task, items: List[tuple], shards: int) -> List[dict]:
-    """Run cell tasks over ``shards`` workers (in-process when 1)."""
-    if shards == 1:
-        return [task(item) for item in items]
+    """Run cell tasks over ``shards`` workers.
+
+    Always routed through :func:`~repro.bench.parallel.parallel_map`
+    (which runs in-process for one worker or few items) so the traced
+    span tree — ``map_item`` wrappers included — has the same shape
+    for every shard count: the profile analogue of the merged-metrics
+    shard invariance.
+    """
     from ..bench.parallel import parallel_map
     return parallel_map(task, items, workers=shards)
 
@@ -543,7 +556,8 @@ def _cell_task(item: tuple) -> dict:
     """Worker body: run one cell start-to-drain (module-level so the
     process pool can pickle it)."""
     cfg, cell = item
-    report = make_cell_simulator(cfg, cell).run()
+    with current_tracer().span("fleet.cell", cell=cell):
+        report = make_cell_simulator(cfg, cell).run()
     return {"cell": cell, "report": asdict(report)}
 
 

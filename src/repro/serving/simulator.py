@@ -30,7 +30,7 @@ from ..hardware.device import DeviceSpec
 from ..hardware.registry import device_spec
 from ..latency.batching import BatchingModel
 from ..models.spec import ModelSpec, model_spec
-from ..obs import current_telemetry
+from ..obs import current_telemetry, current_tracer
 from ..units import fps_to_period_ms
 from .admission import AdmissionController, AdmissionPolicy
 from .batcher import MicroBatcher
@@ -269,8 +269,15 @@ class ServingSimulator:
             * self.batch_latency_ms(self.max_batch)
 
     def run(self) -> ServingReport:
+        tracer = current_tracer()
+        with tracer.span("serving.run", model=self.config.model,
+                         device=self.config.device):
+            return self._run()
+
+    def _run(self) -> ServingReport:
         cfg = self.config
         bus = current_telemetry()
+        tracer = current_tracer()
         batcher = MicroBatcher(
             self.max_batch, self.batch_latency_ms,
             capacity=max(cfg.queue_capacity, self.max_batch),
@@ -299,39 +306,42 @@ class ServingSimulator:
 
         def dispatch(t: float) -> None:
             nonlocal in_flight
-            batch = batcher.take_batch()
-            exec_ms = self.batch_latency_ms(len(batch))
-            in_flight = (t + exec_ms, batch, exec_ms)
-            report.batch_sizes.append(len(batch))
-            report.busy_ms += exec_ms
-            for req in batch:
-                wait = t - req.arrival_ms
-                report.queue_waits_ms.append(wait)
+            with tracer.span("serving.dispatch"):
+                batch = batcher.take_batch()
+                exec_ms = self.batch_latency_ms(len(batch))
+                in_flight = (t + exec_ms, batch, exec_ms)
+                report.batch_sizes.append(len(batch))
+                report.busy_ms += exec_ms
+                for req in batch:
+                    wait = t - req.arrival_ms
+                    report.queue_waits_ms.append(wait)
+                    if bus.enabled:
+                        bus.emit("server", "queue", wait, t / 1000.0)
                 if bus.enabled:
-                    bus.emit("server", "queue", wait, t / 1000.0)
-            if bus.enabled:
-                bus.emit("server", "batch", float(len(batch)),
-                         t / 1000.0, unit="frames")
+                    bus.emit("server", "batch", float(len(batch)),
+                             t / 1000.0, unit="frames")
 
         def complete() -> None:
             nonlocal in_flight, last_done
             assert in_flight is not None
-            done, batch, exec_ms = in_flight
-            in_flight = None
-            last_done = max(last_done, done)
-            for req in batch:
-                e2e = done - req.arrival_ms
-                report.completed += 1
-                report.per_stream_completed[req.stream] += 1
-                report.latencies_ms.append(e2e)
-                if done > req.deadline_ms:
-                    report.violations += 1
-                admission.observe_completion(e2e, done)
+            with tracer.span("serving.complete"):
+                done, batch, exec_ms = in_flight
+                in_flight = None
+                last_done = max(last_done, done)
+                for req in batch:
+                    e2e = done - req.arrival_ms
+                    report.completed += 1
+                    report.per_stream_completed[req.stream] += 1
+                    report.latencies_ms.append(e2e)
+                    if done > req.deadline_ms:
+                        report.violations += 1
+                    admission.observe_completion(e2e, done)
+                    if bus.enabled:
+                        bus.emit(f"stream-{req.stream:02d}", "e2e",
+                                 e2e, done / 1000.0)
                 if bus.enabled:
-                    bus.emit(f"stream-{req.stream:02d}", "e2e", e2e,
+                    bus.emit(cfg.device, "exec", exec_ms,
                              done / 1000.0)
-            if bus.enabled:
-                bus.emit(cfg.device, "exec", exec_ms, done / 1000.0)
 
         while i < n or in_flight is not None or batcher.pending:
             t_arr = arrivals[i].arrival_ms if i < n else _INF

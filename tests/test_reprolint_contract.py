@@ -1,4 +1,4 @@
-"""Repo-contract rule tests (RL101–RL103) against a miniature repo.
+"""Repo-contract rule tests (RL101–RL104) against a miniature repo.
 
 A synthetic repository — registry, experiment module, goldens,
 EXPERIMENTS.md, cli.py, README.md — is materialised in ``tmp_path``;
@@ -44,17 +44,31 @@ def build_parser(sub):
     sub.add_parser("run", help="run")
     sub.add_parser("lint", help="lint")
     sub.add_parser("serve-sim", help="fleet")
+    sub.add_parser("profile", help="hotspots")
 '''
 
 README = """
 Usage: repro run <id> and repro lint [--strict].
 Fleet mode: repro serve-sim --cells 4 --shards 2 --autoscale.
+Hotspots: repro profile --diff BASE.json HEAD.json.
 """
 
 #: README that never mentions the fleet subcommand — RL102 bait.
 README_NO_SERVE_SIM = """
 Usage: repro run <id> and repro lint [--strict].
+Hotspots: repro profile --diff BASE.json HEAD.json.
 """
+
+#: README that never mentions the profile subcommand — RL102 bait.
+README_NO_PROFILE = """
+Usage: repro run <id> and repro lint [--strict].
+Fleet mode: repro serve-sim --cells 4 --shards 2 --autoscale.
+"""
+
+#: A minimal valid (deterministic, schema-1) profile baseline.
+PROFILE_BASELINE = ('{"deterministic": true, "paths": {"a/b": '
+                    '{"count": 1, "self_ms": 3.0}}, "schema": 1, '
+                    '"targets": ["exp_alpha"], "unit": "ms"}')
 
 EXPERIMENTS_MD = """
 ## exp_alpha results
@@ -84,6 +98,7 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
                no_claims=False, undocumented_cli=False,
                drop_chaos_golden=False, drop_fleet_golden=False,
                docs_prefix_only=False, undocumented_serve_sim=False,
+               undocumented_profile=False, baseline=PROFILE_BASELINE,
                metrics_src=METRICS_USER):
     (tmp_path / "pyproject.toml").write_text("[project]\n")
     pkg = tmp_path / "src" / "repro"
@@ -110,8 +125,17 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
         (golden / "exp_serving_chaos.json").write_text("{}")
     if not drop_fleet_golden:
         (golden / "exp_fleet_scale.json").write_text("{}")
-    (tmp_path / "README.md").write_text(
-        README_NO_SERVE_SIM if undocumented_serve_sim else README)
+    if undocumented_serve_sim:
+        readme = README_NO_SERVE_SIM
+    elif undocumented_profile:
+        readme = README_NO_PROFILE
+    else:
+        readme = README
+    (tmp_path / "README.md").write_text(readme)
+    if baseline is not None:
+        bdir = tmp_path / "profile_baseline"
+        bdir.mkdir()
+        (bdir / "PROFILE_baseline.json").write_text(baseline)
     if drop_docs:
         (tmp_path / "EXPERIMENTS.md").write_text("# empty\n")
     elif docs_prefix_only:
@@ -124,7 +148,7 @@ def build_repo(tmp_path, *, drop_golden=False, drop_docs=False,
 
 def contract_lint(root):
     return lint_paths([str(root / "src")], strict=True,
-                      select=["RL101", "RL102", "RL103"],
+                      select=["RL101", "RL102", "RL103", "RL104"],
                       root=str(root))
 
 
@@ -201,8 +225,62 @@ class TestCliDocumented:
         assert [v.rule_id for v in res.violations] == ["RL102"]
         assert "'serve-sim'" in res.violations[0].message
 
+    def test_undocumented_profile_fires_rl102(self, tmp_path):
+        # The profile entry point is under the same README contract.
+        root = build_repo(tmp_path, undocumented_profile=True)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL102"]
+        assert "'profile'" in res.violations[0].message
+
     def test_documented_subcommands_pass(self, tmp_path):
         root = build_repo(tmp_path)
+        assert contract_lint(root).violations == []
+
+
+class TestProfileBaseline:
+    def test_valid_baseline_is_clean(self, tmp_path):
+        root = build_repo(tmp_path)
+        assert contract_lint(root).violations == []
+
+    def test_missing_baseline_fires_rl104(self, tmp_path):
+        root = build_repo(tmp_path, baseline=None)
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL104"]
+        assert "PROFILE_baseline.json" in res.violations[0].message
+
+    def test_malformed_json_fires_rl104(self, tmp_path):
+        root = build_repo(tmp_path, baseline="{not json")
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL104"]
+        assert "not valid JSON" in res.violations[0].message
+
+    def test_wallclock_baseline_fires_rl104(self, tmp_path):
+        root = build_repo(tmp_path, baseline=PROFILE_BASELINE.replace(
+            '"deterministic": true', '"deterministic": false'))
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL104"]
+        assert "deterministic" in res.violations[0].message
+
+    def test_empty_paths_fires_rl104(self, tmp_path):
+        root = build_repo(tmp_path, baseline=(
+            '{"deterministic": true, "paths": {}, "schema": 1}'))
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL104"]
+        assert "paths" in res.violations[0].message
+
+    def test_wrong_schema_fires_rl104(self, tmp_path):
+        root = build_repo(tmp_path, baseline=PROFILE_BASELINE.replace(
+            '"schema": 1', '"schema": 2'))
+        res = contract_lint(root)
+        assert [v.rule_id for v in res.violations] == ["RL104"]
+        assert "schema" in res.violations[0].message
+
+    def test_no_profile_subcommand_needs_no_baseline(self, tmp_path):
+        # A repo whose CLI has no profile subcommand owes nothing.
+        root = build_repo(tmp_path, baseline=None)
+        cli = root / "src" / "repro" / "cli.py"
+        cli.write_text(cli.read_text().replace(
+            '    sub.add_parser("profile", help="hotspots")\n', ""))
         assert contract_lint(root).violations == []
 
 

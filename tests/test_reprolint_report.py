@@ -44,7 +44,7 @@ class TestJsonReport:
         doc = to_json_dict(make_result(tmp_path))
         assert [r["id"] for r in doc["rules"]] == rule_ids()
         assert {"RL001", "RL002", "RL003", "RL004", "RL005",
-                "RL101", "RL102", "RL103"} <= set(rule_ids())
+                "RL101", "RL102", "RL103", "RL104"} <= set(rule_ids())
         for rule in doc["rules"]:
             assert rule["scope"] in ("file", "repo")
             assert rule["title"]
