@@ -6,7 +6,14 @@ a registered fast experiment id (run through the normal
 dedicated probes covering hot paths no fast experiment reaches:
 
 * ``nn_forward`` — a small conv stack forward pass, exercising the
-  ``nn.conv2d`` / ``nn.im2col`` / ``nn.gemm`` span chain;
+  ``nn.conv2d`` / ``nn.im2col`` / ``nn.gemm`` span chain over the
+  workspace arena;
+* ``nn_forward_e2e`` — the mini-YOLO end-to-end eval forward, once
+  unfused and once through the folded pipeline, for side-by-side
+  attribution of the two span trees;
+* ``nn_layers`` — one forward per core layer type (conv, batchnorm,
+  SiLU, maxpool) plus the fused Conv-BN-SiLU equivalent, each under
+  its own ``layer.*`` span;
 * ``fleet_cells`` — the sharded fleet simulation from the bench-track
   probe suite, exercising the cluster event loop, ``fleet.cell``
   worker bodies and the canonical ``fleet.merge``.
@@ -42,17 +49,93 @@ DEFAULT_OUT_DIR = "profiles"
 
 
 def _probe_nn_forward(shards: int) -> None:
-    """Forward a small conv stack (im2col + GEMM hot path)."""
+    """Forward a small conv stack (im2col + GEMM hot path).
+
+    The convs share a workspace arena, so reps 2+ run the blocked
+    im2col path over reused buffers — the per-frame steady state.
+    """
     del shards  # single-process by nature
     from ..nn.layers import Conv2d
-    conv1 = Conv2d(3, 8, 3, rng=make_rng(7, "profile-nn", "conv1"))
+    from ..nn.workspace import Workspace
+    ws = Workspace()
+    conv1 = Conv2d(3, 8, 3, rng=make_rng(7, "profile-nn", "conv1"),
+                   workspace=ws)
     conv2 = Conv2d(8, 16, 3, stride=2,
-                   rng=make_rng(7, "profile-nn", "conv2"))
+                   rng=make_rng(7, "profile-nn", "conv2"), workspace=ws)
     x = make_rng(7, "profile-nn", "input").standard_normal(
         (2, 3, 16, 16)).astype(np.float32)
     for _ in range(3):
         h = conv1.forward(x, training=False)
         conv2.forward(h, training=False)
+
+
+#: Mode for the ``nn_forward_e2e`` probe.  ``"both"`` (the default, and
+#: the committed-baseline shape) runs the unfused and folded pipelines
+#: side by side under ``nn_e2e.unfused`` / ``nn_e2e.fused`` roots.
+#: ``"unfused"`` / ``"fused"`` run a single mode with *identical* span
+#: paths — that is how the committed before/after wallclock diff pair
+#: in ``profile_baseline/`` is captured (``repro profile
+#: nn_forward_e2e --wallclock --nn-e2e-mode <mode>``), so
+#: ``repro profile --diff`` compares the two on common paths.
+NN_E2E_MODE = "both"
+NN_E2E_MODES = ("both", "unfused", "fused")
+
+
+def _probe_nn_forward_e2e(shards: int) -> None:
+    """Mini-YOLO eval forward, unfused vs folded (see NN_E2E_MODE)."""
+    del shards  # single-process by nature
+    from ..models.yolo.mini import build_mini_yolo
+    from ..obs import current_tracer
+    if NN_E2E_MODE not in NN_E2E_MODES:
+        raise BenchmarkError(
+            f"bad nn_forward_e2e mode {NN_E2E_MODE!r}; "
+            f"known: {NN_E2E_MODES}")
+    tracer = current_tracer()
+    x = make_rng(7, "profile-nn-e2e", "input").standard_normal(
+        (1, 3, 64, 64)).astype(np.float32)
+    modes = ("unfused", "fused") if NN_E2E_MODE == "both" \
+        else (NN_E2E_MODE,)
+    for mode in modes:
+        model = build_mini_yolo("yolov8", "n")
+        if mode == "fused":
+            model.fuse(workspace=True)
+        if NN_E2E_MODE == "both":
+            with tracer.span(f"nn_e2e.{mode}"):
+                for _ in range(2):
+                    model.forward(x, training=False)
+        else:
+            for _ in range(2):
+                model.forward(x, training=False)
+
+
+def _probe_nn_layers(shards: int) -> None:
+    """One eval forward per core layer type, each under its own span."""
+    del shards  # single-process by nature
+    from ..nn.fuse import FusedConvBNAct, fold_conv_bn
+    from ..nn.layers import BatchNorm2d, Conv2d, MaxPool2d, SiLU
+    from ..nn.workspace import Workspace
+    from ..obs import current_tracer
+    tracer = current_tracer()
+    conv = Conv2d(8, 8, 3, bias=False,
+                  rng=make_rng(7, "profile-nn-layers", "conv"))
+    bn = BatchNorm2d(8)
+    act = SiLU()
+    pool = MaxPool2d(2)
+    x = make_rng(7, "profile-nn-layers", "input").standard_normal(
+        (2, 8, 16, 16)).astype(np.float32)
+    with tracer.span("layer.conv2d"):
+        y = conv.forward(x, training=False)
+    with tracer.span("layer.batchnorm"):
+        y = bn.forward(y, training=False)
+    with tracer.span("layer.silu"):
+        y = act.forward(y, training=False)
+    with tracer.span("layer.maxpool"):
+        pool.forward(y, training=False)
+    weight, bias = fold_conv_bn(conv, bn)
+    fused = FusedConvBNAct(weight, bias, conv.stride, conv.padding,
+                           act="silu", workspace=Workspace())
+    with tracer.span("layer.fused_convbnact"):
+        fused.forward(x, training=False)
 
 
 def _probe_fleet_cells(shards: int) -> None:
@@ -66,14 +149,18 @@ def _probe_fleet_cells(shards: int) -> None:
 #: probes that are single-process by nature ignore it too.
 PROBES: Dict[str, Callable[[int], None]] = {
     "nn_forward": _probe_nn_forward,
+    "nn_forward_e2e": _probe_nn_forward_e2e,
+    "nn_layers": _probe_nn_layers,
     "fleet_cells": _probe_fleet_cells,
 }
 
 #: The committed-baseline target set: serving event loop, fleet
 #: merge/event loop, renderer rasterization (via ablation_pipeline's
-#: dataset build), and the im2col/GEMM conv path.
+#: dataset build), the im2col/GEMM conv path, and the fused-vs-unfused
+#: mini-YOLO eval forward with its per-layer attribution probes.
 BASELINE_TARGETS: Tuple[str, ...] = (
-    "ablation_pipeline", "exp_serving", "fleet_cells", "nn_forward")
+    "ablation_pipeline", "exp_serving", "fleet_cells", "nn_forward",
+    "nn_forward_e2e", "nn_layers")
 
 
 def resolve_targets(targets: Sequence[str]) -> List[str]:

@@ -176,6 +176,13 @@ def _cmd_profile(args) -> int:
                       f"{r['delta_self_ms']:>+9.2f}")
         else:
             print("profiles are identical on every path")
+        if not base.get("deterministic", False) \
+                or not head.get("deterministic", False):
+            # Wall-clock documents are machine-speed evidence, not
+            # gateable metrics: show the diff, skip the gate.
+            print("wall-clock profile(s): self-time p50 gate skipped "
+                  "(diff shown for evidence only)")
+            return 0
         regressions = profile_regressions(
             base, head, max_regress_pct=args.max_regress_pct,
             min_self_ms=args.min_self_ms)
@@ -193,6 +200,7 @@ def _cmd_profile(args) -> int:
         return 0
 
     from .obs import profile_document
+    profiler.NN_E2E_MODE = args.nn_e2e_mode
     targets = profiler.resolve_targets(args.targets)
     profile = profiler.capture_profile(targets, shards=args.shards,
                                        wallclock=args.wallclock)
@@ -677,6 +685,13 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--min-self-ms", type=float, default=2.0,
                         help="gate only paths whose baseline self-"
                              "time p50 is at least this (default 2)")
+    prof_p.add_argument("--nn-e2e-mode", default="both",
+                        choices=("both", "unfused", "fused"),
+                        help="nn_forward_e2e probe mode: 'both' runs "
+                             "the pipelines side by side; 'unfused'/"
+                             "'fused' run one mode with identical span "
+                             "paths so two captures diff on common "
+                             "paths (default both)")
 
     mon_p = sub.add_parser(
         "monitor", help="replay an experiment's telemetry as a "

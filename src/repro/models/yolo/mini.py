@@ -22,6 +22,7 @@ from ...errors import ModelError, ShapeError
 from ...nn.blocks import ConvBNAct, CSPBlock, SPPFBlock
 from ...nn.layers import Conv2d, sigmoid
 from ...nn.network import Sequential, count_parameters
+from ...nn.workspace import Workspace
 from ...rng import make_rng
 
 #: Output channels per grid cell: objectness + (tx, ty, tw, th).
@@ -89,6 +90,29 @@ class MiniYolo:
         layers.append(SPPFBlock(4 * c, rng=rng))
         layers.append(Conv2d(4 * c, HEAD_CHANNELS, 1, bias=True, rng=rng))
         self.net = Sequential(layers, name=config.name)
+        #: Folded eval pipeline; built lazily by :meth:`fuse`, dropped by
+        #: any training forward (folded weights would go stale).
+        self._fused = None
+
+    # -- eval-time folding -------------------------------------------------
+
+    def fuse(self, workspace: bool = True, backend: str = "gemm",
+             blas_threads: Optional[int] = None) -> None:
+        """Fold Conv→BN(+SiLU) chains for fast eval forwards.
+
+        Subsequent ``forward(training=False)`` calls run through the
+        fused pipeline; training forwards keep using (and updating) the
+        unfused network and invalidate the fold.  ``load()`` re-folds
+        automatically so the fused weights track the checkpoint.
+        """
+        ws = Workspace() if workspace else None
+        self._fused = self.net.fuse(workspace=ws, backend=backend,
+                                    blas_threads=blas_threads)
+
+    @property
+    def fused(self) -> bool:
+        """Whether eval forwards currently run the folded pipeline."""
+        return self._fused is not None
 
     # -- core passes -------------------------------------------------------
 
@@ -103,7 +127,14 @@ class MiniYolo:
             raise ShapeError(
                 f"expected {self.config.image_size}px input, got "
                 f"{images.shape[2:]} — letterbox first")
-        out = self.net.forward(images, training=training)
+        if training:
+            # Parameters are about to change; the fold would go stale.
+            self._fused = None
+            out = self.net.forward(images, training=True)
+        elif self._fused is not None:
+            out = self._fused.forward(images, training=False)
+        else:
+            out = self.net.forward(images, training=False)
         g = self.config.grid
         if out.shape[1:] != (HEAD_CHANNELS, g, g):
             raise ShapeError(
@@ -157,6 +188,12 @@ class MiniYolo:
             raise ModelError(
                 f"checkpoint family {meta.get('family')!r} does not match "
                 f"model {self.config.family!r}")
+        if self._fused is not None:
+            # Re-fold from the restored parameters; the previous fold
+            # captured pre-checkpoint weights.
+            self.fuse(workspace=self._fused.workspace is not None,
+                      backend=self._fused.backend,
+                      blas_threads=self._fused.blas_threads)
 
 
 def build_mini_yolo(family: str, variant: str, seed: int = 7,

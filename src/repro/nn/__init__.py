@@ -29,6 +29,14 @@ from .layers import (
 )
 from .blocks import ConvBNAct, ResidualBlock, CSPBlock, SPPFBlock
 from .network import Sequential, count_parameters
+from .workspace import Workspace
+from .fuse import (
+    FusedAffineAct,
+    FusedConvBNAct,
+    FusedSequential,
+    fold_conv_bn,
+    fuse_eval,
+)
 from .optim import SGD, Adam, CosineWarmupSchedule
 from .losses import (
     bce_with_logits,
@@ -46,6 +54,8 @@ __all__ = [
     "MaxPool2d", "Upsample2x", "Linear", "Flatten", "sigmoid",
     "ConvBNAct", "ResidualBlock", "CSPBlock", "SPPFBlock",
     "Sequential", "count_parameters",
+    "Workspace", "fuse_eval", "fold_conv_bn",
+    "FusedSequential", "FusedConvBNAct", "FusedAffineAct",
     "SGD", "Adam", "CosineWarmupSchedule",
     "bce_with_logits", "bce_with_logits_grad", "mse_loss",
     "smooth_l1", "smooth_l1_grad", "ciou",

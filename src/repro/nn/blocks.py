@@ -189,8 +189,7 @@ class SPPFBlock(_Composite):
         p2, a2 = self._pool3_s1(p1)
         p3, a3 = self._pool3_s1(p2)
         cat = np.concatenate([y, p1, p2, p3], axis=1)
-        if training:
-            self._cache = (y.shape, a1, a2, a3)
+        self._cache = (y.shape, a1, a2, a3) if training else None
         return self.post(cat, training)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

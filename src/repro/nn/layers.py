@@ -17,6 +17,13 @@ from numpy.lib.stride_tricks import sliding_window_view
 from ..errors import ShapeError
 from ..obs import current_tracer
 from .init import he_init, xavier_init, zeros_init
+from .workspace import Workspace
+
+#: Target bytes for one im2col row-block in the workspace-backed conv
+#: eval path: the strided window copy proceeds in chunks of output rows
+#: sized to stay cache-resident instead of streaming one cold pass over
+#: the whole column matrix.
+IM2COL_BLOCK_BYTES = 1 << 19
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
@@ -30,7 +37,14 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 
 
 class Layer:
-    """Base layer: forward/backward with cached state, parameter access."""
+    """Base layer: forward/backward with cached state, parameter access.
+
+    Cache contract: a ``training=True`` forward stores whatever the
+    matching ``backward`` needs; a ``training=False`` forward *clears*
+    that state, so a ``backward`` issued after an eval forward raises
+    :class:`~repro.errors.ShapeError` instead of silently computing
+    gradients against a previous training batch's activations.
+    """
 
     name: str = "layer"
 
@@ -63,7 +77,8 @@ class Conv2d(Layer):
     def __init__(self, in_channels: int, out_channels: int, kernel: int,
                  stride: int = 1, padding: Optional[int] = None,
                  bias: bool = True,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 workspace: Optional[Workspace] = None) -> None:
         if min(in_channels, out_channels, kernel, stride) < 1:
             raise ShapeError(
                 f"bad conv config: in={in_channels} out={out_channels} "
@@ -80,6 +95,9 @@ class Conv2d(Layer):
         self.dweight = np.zeros_like(self.weight)
         self.dbias = np.zeros_like(self.bias) if bias else None
         self._cache: Optional[Tuple] = None
+        #: When set, eval forwards run the arena-backed blocked
+        #: im2col→GEMM path (intermediates reused across frames).
+        self.workspace = workspace
         self.name = f"conv{kernel}x{kernel}"
 
     def _check_input(self, x: np.ndarray) -> None:
@@ -95,22 +113,36 @@ class Conv2d(Layer):
         with tracer.span("nn.conv2d", layer=self.name):
             return self._forward(x, training)
 
-    def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        tracer = current_tracer()
-        self._check_input(x)
-        n, _, h, w = x.shape
+    def _geometry(self, x: np.ndarray) -> Tuple[int, int, int, int]:
+        """(ho, wo, hp, wp) of the conv output / padded input."""
+        h, w = x.shape[2], x.shape[3]
         k, s, p = self.kernel, self.stride, self.padding
-        if p:
-            xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
-        else:
-            xp = x
-        hp, wp = xp.shape[2], xp.shape[3]
+        hp, wp = h + 2 * p, w + 2 * p
         ho = (hp - k) // s + 1
         wo = (wp - k) // s + 1
         if ho < 1 or wo < 1:
             raise ShapeError(
                 f"conv output empty for input {x.shape} (k={k}, s={s}, "
                 f"p={p})")
+        return ho, wo, hp, wp
+
+    def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        self._check_input(x)
+        if not training:
+            # Eval forwards never feed a backward; clear the training
+            # cache so a stray backward() raises instead of silently
+            # differentiating a previous batch's activations.
+            self._cache = None
+            if self.workspace is not None:
+                return self._forward_workspace(x)
+        tracer = current_tracer()
+        n = x.shape[0]
+        k, s, p = self.kernel, self.stride, self.padding
+        ho, wo, hp, wp = self._geometry(x)
+        if p:
+            xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        else:
+            xp = x
         with tracer.span("nn.im2col"):
             # (N, C, Ho*, Wo*, k, k) view, strided to the requested
             # stride; GEMM layout rows = output positions, cols =
@@ -130,6 +162,55 @@ class Conv2d(Layer):
         if training:
             self._cache = (x.shape, cols, (n, ho, wo, hp, wp))
         return out
+
+    def _forward_workspace(self, x: np.ndarray) -> np.ndarray:
+        """Eval path over the preallocated arena.
+
+        Numerically identical to the default path (same column layout,
+        one BLAS GEMM), but the padded input, the column matrix and the
+        GEMM output live in :attr:`workspace` buffers reused across
+        frames, and the window→column copy is cache-blocked over output
+        rows.  The returned NCHW tensor is the only fresh allocation —
+        it escapes to the caller, arena intermediates never do.
+        """
+        tracer = current_tracer()
+        ws = self.workspace
+        n, c = x.shape[0], self.in_channels
+        k, s, p = self.kernel, self.stride, self.padding
+        ho, wo, hp, wp = self._geometry(x)
+        if p:
+            xp = ws.buffer(self, "pad", (n, c, hp, wp))
+            xp.fill(0.0)
+            xp[:, :, p:p + x.shape[2], p:p + x.shape[3]] = x
+        else:
+            xp = x
+        ckk = c * k * k
+        # Arena bookkeeping happens outside the kernel spans: the
+        # im2col/gemm self-times measure the copies and the GEMM, not
+        # the buffer-table lookups (those land in nn.conv2d self-time).
+        cols = ws.buffer(self, "cols", (n * ho * wo, ckk))
+        out2d = ws.buffer(self, "gemm", (n * ho * wo, self.out_channels))
+        with tracer.span("nn.im2col"):
+            win = sliding_window_view(
+                xp, (k, k), axis=(2, 3))[:, :, ::s, ::s]
+            cols6 = cols.reshape(n, ho, wo, c, k, k)
+            hb = max(1, min(ho, IM2COL_BLOCK_BYTES
+                            // max(1, wo * ckk * 4)))
+            for i in range(n):
+                for h0 in range(0, ho, hb):
+                    h1 = min(ho, h0 + hb)
+                    # (C, hb, Wo, k, k) → (hb, Wo, C, k, k): one
+                    # strided copy straight into the arena buffer.
+                    cols6[i, h0:h1] = win[i, :, h0:h1].transpose(
+                        1, 2, 0, 3, 4)
+        with tracer.span("nn.gemm"):
+            w_mat = self.weight.reshape(self.out_channels, -1)
+            np.dot(cols, w_mat.T, out=out2d)
+            if self.bias is not None:
+                out2d += self.bias
+        out = out2d.reshape(n, ho, wo, self.out_channels)
+        return np.ascontiguousarray(out.transpose(0, 3, 1, 2),
+                                    dtype=np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -202,8 +283,7 @@ class BatchNorm2d(Layer):
             * inv_std[None, :, None, None]
         out = (self.gamma[None, :, None, None] * x_hat
                + self.beta[None, :, None, None]).astype(np.float32)
-        if training:
-            self._cache = (x_hat, inv_std, x.shape)
+        self._cache = (x_hat, inv_std, x.shape) if training else None
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -241,8 +321,7 @@ class SiLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         s = sigmoid(x)
-        if training:
-            self._cache = (x, s)
+        self._cache = (x, s) if training else None
         return (x * s).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -261,8 +340,7 @@ class ReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         mask = x > 0
-        if training:
-            self._mask = mask
+        self._mask = mask if training else None
         return np.where(mask, x, 0.0).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -281,8 +359,7 @@ class LeakyReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         mask = x > 0
-        if training:
-            self._mask = mask
+        self._mask = mask if training else None
         return np.where(mask, x, self.slope * x).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -315,8 +392,7 @@ class MaxPool2d(Layer):
         arg = windows.argmax(axis=-1)
         out = np.take_along_axis(windows, arg[..., None],
                                  axis=-1)[..., 0]
-        if training:
-            self._cache = (arg, x.shape)
+        self._cache = (arg, x.shape) if training else None
         return np.ascontiguousarray(out, dtype=np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -340,8 +416,7 @@ class Upsample2x(Layer):
         self.name = "upsample2x"
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        if training:
-            self._in_shape = x.shape
+        self._in_shape = x.shape if training else None
         return np.repeat(np.repeat(x, 2, axis=2), 2, axis=3)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -360,8 +435,7 @@ class Flatten(Layer):
         self.name = "flatten"
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
-        if training:
-            self._in_shape = x.shape
+        self._in_shape = x.shape if training else None
         return np.ascontiguousarray(x.reshape(x.shape[0], -1))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -394,7 +468,12 @@ class Linear(Layer):
             raise ShapeError(
                 f"linear expects (N, {self.in_features}), got {x.shape}")
         if training:
-            self._x = x
+            # Copy: callers may mutate x in place between forward and
+            # backward, which would silently corrupt dweight.
+            self._x = x.copy()
+            self._x.flags.writeable = False
+        else:
+            self._x = None
         out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias

@@ -84,6 +84,19 @@ class Sequential(Layer):
         restore_into(self._state(), loaded)
         return meta
 
+    # -- eval-time folding -------------------------------------------------
+
+    def fuse(self, workspace=None, backend: str = "gemm",
+             blas_threads: Optional[int] = None):
+        """Eval-only folded copy of this network (Conv→BN, act epilogues).
+
+        Thin wrapper over :func:`repro.nn.fuse.fuse_eval`; the source
+        network is left untouched and stays trainable.
+        """
+        from .fuse import fuse_eval
+        return fuse_eval(self, workspace=workspace, backend=backend,
+                         blas_threads=blas_threads)
+
 
 def count_parameters(net: Layer) -> int:
     """Total trainable scalar count of a layer/network."""

@@ -1,0 +1,89 @@
+"""Preallocated workspace arena for the NN eval hot paths.
+
+Frame-rate inference re-runs the same network on same-shaped inputs, so
+every im2col column matrix, padded input and GEMM output buffer a layer
+needs has exactly the same shape on every frame.  Allocating them fresh
+per call (what ``np.pad`` / ``reshape``-copies / ``cols @ W.T`` do) puts
+the allocator and the fault-in of cold pages on the per-frame critical
+path.  A :class:`Workspace` removes that: buffers are keyed by
+``(owner, tag, shape, dtype)`` and handed back zero-copy on every
+subsequent request with the same key.
+
+Lifetime contract (see DESIGN.md §"Fusion/workspace layer"):
+
+* a buffer returned by :meth:`Workspace.buffer` is valid until the next
+  ``buffer()`` call with the same key — layers must copy anything that
+  escapes (the conv layers return freshly-allocated NCHW outputs, only
+  *intermediates* live in the arena);
+* shapes are part of the key, so a resolution change mid-stream simply
+  allocates a second buffer rather than corrupting the first;
+* :meth:`reset` drops every buffer (e.g. between workloads, or to bound
+  memory after a shape sweep); the next request reallocates.
+
+The arena is deliberately not thread-safe: one workspace per network
+per worker, matching how ``parallel_map`` shards own their models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+#: Key: (owner id, tag, shape, dtype name).
+_Key = Tuple[int, str, Tuple[int, ...], str]
+
+
+class Workspace:
+    """Shape-keyed scratch-buffer arena reused across frames."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[_Key, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def buffer(self, owner: object, tag: str,
+               shape: Tuple[int, ...],
+               dtype: np.dtype = np.float32) -> np.ndarray:
+        """A reusable buffer of ``shape``/``dtype`` for ``owner``.
+
+        The same ``(owner, tag, shape, dtype)`` always returns the same
+        array; contents are whatever the previous use left behind, so
+        callers must overwrite fully (or :meth:`zeros` for cleared).
+        """
+        dname = "float32" if dtype is np.float32 else np.dtype(dtype).name
+        key: _Key = (id(owner), tag, shape, dname)
+        buf = self._buffers.get(key)
+        if buf is None:
+            if any(int(s) < 1 for s in shape):
+                raise ShapeError(
+                    f"workspace buffer needs positive dims, got {shape}")
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def zeros(self, owner: object, tag: str,
+              shape: Tuple[int, ...],
+              dtype: np.dtype = np.float32) -> np.ndarray:
+        """Like :meth:`buffer` but zero-filled on every request."""
+        buf = self.buffer(owner, tag, shape, dtype)
+        buf.fill(0)
+        return buf
+
+    def reset(self) -> None:
+        """Drop every buffer; subsequent requests reallocate."""
+        self._buffers.clear()
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return int(sum(b.nbytes for b in self._buffers.values()))

@@ -222,3 +222,102 @@ class TestLinear:
         with pytest.raises(ShapeError):
             Linear(6, 3, rng=RNG).forward(
                 RNG.normal(size=(2, 5)).astype(np.float32))
+
+
+class TestEvalCacheInvalidation:
+    """train-forward → eval-forward → backward must raise, per layer.
+
+    A stale training cache surviving an eval forward silently computes
+    gradients against a *previous* batch's activations; every stateful
+    layer must clear its cache on ``training=False``.
+    """
+
+    CASES = [
+        (lambda: Conv2d(3, 4, 3, rng=RNG), lambda: x4()),
+        (lambda: BatchNorm2d(3), lambda: x4()),
+        (lambda: SiLU(), lambda: x4()),
+        (lambda: ReLU(), lambda: x4()),
+        (lambda: LeakyReLU(), lambda: x4()),
+        (lambda: MaxPool2d(2), lambda: x4()),
+        (lambda: Upsample2x(), lambda: x4()),
+        (lambda: Flatten(), lambda: x4()),
+        (lambda: Linear(6, 3, rng=RNG),
+         lambda: RNG.normal(size=(2, 6)).astype(np.float32)),
+    ]
+
+    @pytest.mark.parametrize("make_layer,make_x", CASES,
+                             ids=[m().name for m, _ in CASES])
+    def test_backward_after_eval_raises(self, make_layer, make_x):
+        layer = make_layer()
+        x = make_x()
+        out = layer.forward(x, training=True)
+        layer.forward(x, training=False)
+        with pytest.raises(ShapeError):
+            layer.backward(np.ones_like(out))
+
+    def test_sppf_backward_after_eval_raises(self):
+        from repro.nn.blocks import SPPFBlock
+        blk = SPPFBlock(4, rng=RNG)
+        x = x4(c=4)
+        out = blk.forward(x, training=True)
+        blk.forward(x, training=False)
+        with pytest.raises(ShapeError):
+            blk.backward(np.ones_like(out))
+
+    def test_train_forward_backward_still_works(self):
+        conv = Conv2d(3, 4, 3, rng=RNG)
+        x = x4()
+        out = conv.forward(x, training=True)
+        assert conv.backward(np.ones_like(out)).shape == x.shape
+
+
+class TestLinearInputAliasing:
+    def test_caller_mutation_does_not_corrupt_dweight(self):
+        lin = Linear(6, 3, rng=RNG)
+        x = RNG.normal(size=(4, 6)).astype(np.float32)
+        x_snapshot = x.copy()
+        out = lin.forward(x, training=True)
+        x *= 0.0  # caller reuses its buffer between forward and backward
+        g = np.ones_like(out)
+        lin.backward(g)
+        expected = g.T @ x_snapshot
+        np.testing.assert_allclose(lin.dweight, expected, rtol=1e-5)
+
+    def test_cached_copy_is_read_only(self):
+        lin = Linear(6, 3, rng=RNG)
+        x = RNG.normal(size=(2, 6)).astype(np.float32)
+        lin.forward(x, training=True)
+        assert lin._x is not x
+        assert not lin._x.flags.writeable
+
+
+class TestConvWorkspacePath:
+    def test_workspace_eval_matches_default(self):
+        from repro.nn.workspace import Workspace
+        ws = Workspace()
+        ref = Conv2d(3, 6, 3, stride=2, rng=np.random.default_rng(3))
+        conv = Conv2d(3, 6, 3, stride=2, rng=np.random.default_rng(3),
+                      workspace=ws)
+        x = x4(h=16, w=16)
+        np.testing.assert_array_equal(
+            conv.forward(x, training=False),
+            ref.forward(x, training=False))
+
+    def test_workspace_buffers_reused_across_frames(self):
+        from repro.nn.workspace import Workspace
+        ws = Workspace()
+        conv = Conv2d(3, 6, 3, rng=RNG, workspace=ws)
+        conv.forward(x4(), training=False)
+        misses = ws.misses
+        conv.forward(x4(), training=False)
+        assert ws.misses == misses  # second frame: all hits
+        assert ws.hits > 0
+
+    def test_workspace_ignored_during_training(self):
+        from repro.nn.workspace import Workspace
+        ws = Workspace()
+        conv = Conv2d(3, 6, 3, rng=RNG, workspace=ws)
+        x = x4()
+        out = conv.forward(x, training=True)
+        assert ws.num_buffers == 0  # training path never touches arena
+        assert conv.backward(np.ones_like(out)).shape == x.shape

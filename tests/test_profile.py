@@ -245,7 +245,9 @@ class TestCommittedBaseline:
             os.path.join(REPO_ROOT, profiler.DEFAULT_BASELINE_PATH))
         paths = list(doc["paths"])
         for needle in ("serving.dispatch", "fleet.merge",
-                       "render.scene", "nn.im2col"):
+                       "render.scene", "nn.im2col",
+                       "nn_e2e.unfused", "nn_e2e.fused",
+                       "layer.fused_convbnact"):
             assert any(needle in p for p in paths), needle
 
 
