@@ -1,0 +1,671 @@
+"""Intraprocedural array-aliasing dataflow for the RL2xx rules.
+
+The RL0xx rules are per-statement pattern matches; the aliasing family
+needs more: whether the array flowing into a cache, a ``return`` or an
+in-place write is *caller-owned*, an *arena buffer*, or *fresh local
+memory*.  This module is that machinery — a small, deliberately
+conservative def-use pass over one function at a time:
+
+* every parameter starts as a caller-owned array candidate
+  (:attr:`Origin.PARAM`);
+* ``ws.buffer(...)`` / ``ws.take(...)`` / ``ws.zeros(...)`` results are
+  arena buffers (:attr:`Origin.WORKSPACE`) when the receiver is a
+  workspace handle (a name bound from ``self.workspace``, or a
+  parameter named ``workspace``/``ws``);
+* expressions propagate through a **view algebra** modelled on NumPy's
+  actual copy semantics: slicing, ``.T``, ``transpose``/``swapaxes``
+  give definite views (:attr:`Via.VIEW`); ``reshape``, ``ravel``,
+  ``np.ascontiguousarray``, ``np.asarray`` give *conditional* copies
+  (:attr:`Via.MAYBE` — NumPy returns the input itself when it is
+  already contiguous, the exact trap behind arena escapes); ``.copy()``,
+  ``.astype``, ``np.array``, arithmetic results are :attr:`Via.FRESH`;
+* rebinding a name replaces its binding, so "copied before cached"
+  code is naturally clean.
+
+The pass is **sequential and approximate**: statements are visited in
+source order, branches merge by last-writer-wins, nested functions are
+analysed independently.  That is deliberate — lint rules must be cheap
+and predictable; the runtime sanitizer (:mod:`repro.nn.sanitizer`)
+covers what static approximation cannot.
+
+Output is a flat list of :class:`Event` records (mutations, cache
+stores, returns, borrow escapes, uses after ``reset()``) that the
+:mod:`repro.analysis.aliasing` rules filter into violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from .astutils import dotted_name, qualified_call_name
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class Origin(enum.Enum):
+    """Who owns the memory behind a tracked array."""
+
+    PARAM = "param"          # the caller (function parameter)
+    WORKSPACE = "workspace"  # the arena (ws.buffer/take/zeros result)
+    FRESH = "fresh"          # this function (local allocation)
+
+
+class Via(enum.Enum):
+    """How strongly an expression aliases its origin array."""
+
+    ALIAS = "alias"   # the very same object
+    VIEW = "view"     # definite ndarray view (shares memory)
+    MAYBE = "maybe"   # conditional copy — may or may not share memory
+    FRESH = "fresh"   # definitely new memory
+
+
+@dataclass(frozen=True)
+class Binding:
+    """What a name/expression resolves to, aliasing-wise."""
+
+    origin: Origin
+    via: Via
+    source: str          # param name or workspace tag, for messages
+    borrowed: bool = False   # came from ws.take() (scoped borrow)
+    stale: bool = False      # arena buffer dropped by ws.reset()
+
+    def derive(self, via: Via) -> "Binding":
+        """The binding of a view/maybe-copy/copy of this array."""
+        if self.via is Via.FRESH or via is Via.FRESH:
+            # A view of fresh local memory is still local memory; a
+            # copy of anything is fresh.
+            origin = Origin.FRESH if via is Via.FRESH else self.origin
+            return Binding(origin, Via.FRESH if via is Via.FRESH
+                           else self.via, self.source,
+                           borrowed=False, stale=self.stale)
+        # view-of-view stays view; anything through a conditional
+        # copy is at most MAYBE.
+        combined = Via.MAYBE if Via.MAYBE in (self.via, via) else Via.VIEW
+        return Binding(self.origin, combined, self.source,
+                       borrowed=self.borrowed, stale=self.stale)
+
+    @property
+    def definite(self) -> bool:
+        """Definitely shares memory with the origin array."""
+        return self.via in (Via.ALIAS, Via.VIEW)
+
+    @property
+    def possible(self) -> bool:
+        """May share memory with the origin array."""
+        return self.via is not Via.FRESH
+
+
+@dataclass(frozen=True)
+class Event:
+    """One aliasing-relevant fact found while scanning a function."""
+
+    kind: str            # mutation | cache_store | return |
+    #                      borrow_escape | use_after_reset
+    line: int
+    col: int
+    binding: Binding
+    detail: str          # how: "augmented assignment", "out= argument"…
+    func_name: str
+    func_line: int
+    public: bool         # function name has no leading underscore
+
+
+#: ndarray methods returning a definite view of the receiver.
+VIEW_METHODS = frozenset({
+    "transpose", "swapaxes", "view", "squeeze", "diagonal",
+})
+
+#: ndarray methods / functions whose copy is *conditional* — they
+#: return the input unchanged when it already satisfies the request.
+MAYBE_METHODS = frozenset({"reshape", "ravel"})
+
+#: ndarray methods that always return new memory.
+FRESH_METHODS = frozenset({
+    "copy", "astype", "flatten", "sum", "mean", "max", "min", "std",
+    "var", "dot", "round", "clip", "repeat", "cumsum", "take",
+})
+
+#: ndarray attribute accesses that are views (``.T``) vs. metadata.
+VIEW_ATTRS = frozenset({"T", "mT", "real", "imag"})
+
+#: numpy-level functions, by resolved qualified name.
+NUMPY_VIEW_FUNCS = frozenset({
+    "numpy.transpose", "numpy.swapaxes", "numpy.moveaxis",
+    "numpy.broadcast_to", "numpy.expand_dims", "numpy.flipud",
+    "numpy.fliplr", "numpy.lib.stride_tricks.sliding_window_view",
+})
+NUMPY_MAYBE_FUNCS = frozenset({
+    "numpy.ascontiguousarray", "numpy.asarray", "numpy.asfortranarray",
+    "numpy.ravel", "numpy.reshape", "numpy.squeeze",
+    "numpy.atleast_1d", "numpy.atleast_2d", "numpy.atleast_3d",
+})
+
+#: in-place ndarray mutator methods (write through the receiver).
+INPLACE_METHODS = frozenset({
+    "fill", "sort", "partition", "put", "itemset", "resize",
+})
+
+#: functions whose first positional argument is written in place.
+INPLACE_FIRST_ARG_FUNCS = frozenset({"numpy.copyto"})
+
+#: wrappers that return their first argument unchanged (aliasing-wise).
+PASSTHROUGH_FUNCS = frozenset({"freeze"})
+
+#: parameter names that *advertise* in-place writing — callers opt in.
+OUT_PARAM_NAMES = frozenset({
+    "out", "dst", "dest", "buf", "buffer", "acc", "accum", "target",
+    "into",
+})
+
+
+def _subscript_has_slice(node: ast.expr) -> bool:
+    """Whether a (possibly chained) subscript uses slice syntax.
+
+    ``x[a:b] = …`` (or ``x[a:b, c] = …``, ``x[…][mask] = …`` chains)
+    cannot be a dict store — slices are unhashable — so a slice is
+    positive evidence the parameter is an array.
+    """
+    while isinstance(node, ast.Subscript):
+        index = node.slice
+        parts = index.elts if isinstance(index, ast.Tuple) else [index]
+        if any(isinstance(p, ast.Slice) for p in parts):
+            return True
+        node = node.value
+    return False
+
+
+def _receiver_is_workspace(node: ast.AST,
+                           handles: Set[str]) -> bool:
+    """Whether a method-call receiver is a workspace handle."""
+    name = dotted_name(node)
+    if name is None:
+        return False
+    if name in handles:
+        return True
+    last = name.rsplit(".", 1)[-1]
+    return last in ("workspace", "ws", "arena")
+
+
+def _literal_tag(call: ast.Call) -> str:
+    """Best-effort workspace tag for messages (2nd positional arg)."""
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant) \
+            and isinstance(call.args[1].value, str):
+        return call.args[1].value
+    for kw in call.keywords:
+        if kw.arg == "tag" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            return kw.value.value
+    return "<buffer>"
+
+
+class FunctionScan:
+    """One sequential def-use pass over a single function body."""
+
+    def __init__(self, func: FuncDef, aliases: Dict[str, str],
+                 class_name: Optional[str] = None) -> None:
+        self.func = func
+        self.aliases = aliases
+        self.class_name = class_name
+        self.events: List[Event] = []
+        self.env: Dict[str, Binding] = {}
+        self.handles: Set[str] = set()
+        self.after_reset = False
+        self._setup_params()
+
+    # -- environment -------------------------------------------------------
+
+    def _setup_params(self) -> None:
+        args = self.func.args
+        names = [a.arg for a in
+                 args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        for name in names:
+            if name in ("self", "cls"):
+                continue
+            if name in ("workspace", "ws", "arena"):
+                self.handles.add(name)
+                continue
+            self.env[name] = Binding(Origin.PARAM, Via.ALIAS, name)
+
+    def _event(self, kind: str, node: ast.AST, binding: Binding,
+               detail: str) -> None:
+        self.events.append(Event(
+            kind=kind, line=node.lineno, col=node.col_offset,
+            binding=binding, detail=detail,
+            func_name=self.func.name, func_line=self.func.lineno,
+            public=not self.func.name.startswith("_")))
+
+    # -- expression evaluation ---------------------------------------------
+
+    def evaluate(self, node: ast.AST) -> Optional[Binding]:
+        """Aliasing binding of an expression, or None if untracked."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Starred):
+            return self.evaluate(node.value)
+        if isinstance(node, ast.Subscript):
+            base = self.evaluate(node.value)
+            # Basic indexing yields a view of the base array.
+            return base.derive(Via.VIEW) if base else None
+        if isinstance(node, ast.Attribute):
+            if node.attr in VIEW_ATTRS:
+                base = self.evaluate(node.value)
+                return base.derive(Via.VIEW) if base else None
+            return None  # .shape, .dtype, self.attr … untracked
+        if isinstance(node, ast.Call):
+            return self._evaluate_call(node)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.Compare,
+                             ast.ListComp, ast.DictComp, ast.SetComp,
+                             ast.GeneratorExp)):
+            return Binding(Origin.FRESH, Via.FRESH, "<expr>")
+        if isinstance(node, ast.IfExp):
+            # Either branch may flow out; prefer the riskier one.
+            a = self.evaluate(node.body)
+            b = self.evaluate(node.orelse)
+            for cand in (a, b):
+                if cand is not None and cand.possible \
+                        and cand.origin is not Origin.FRESH:
+                    return cand
+            return a or b
+        if isinstance(node, ast.NamedExpr):
+            binding = self.evaluate(node.value)
+            if isinstance(node.target, ast.Name):
+                self._bind(node.target.id, binding)
+            return binding
+        return None
+
+    def _evaluate_call(self, call: ast.Call) -> Optional[Binding]:
+        qual = qualified_call_name(call, self.aliases)
+        # Workspace arena requests.
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr in ("buffer", "zeros", "take") and \
+                _receiver_is_workspace(call.func.value, self.handles):
+            tag = _literal_tag(call)
+            return Binding(Origin.WORKSPACE, Via.ALIAS, tag,
+                           borrowed=(call.func.attr == "take"))
+        # Transparent wrappers (sanitizer freeze()).
+        short = (qual or "").rsplit(".", 1)[-1]
+        if short in PASSTHROUGH_FUNCS and call.args:
+            return self.evaluate(call.args[0])
+        # numpy free functions.
+        if qual in NUMPY_VIEW_FUNCS and call.args:
+            base = self.evaluate(call.args[0])
+            return base.derive(Via.VIEW) if base else None
+        if qual in NUMPY_MAYBE_FUNCS and call.args:
+            base = self.evaluate(call.args[0])
+            return base.derive(Via.MAYBE) if base else None
+        if qual is not None and qual.startswith("numpy."):
+            # Any other numpy call allocates its result.
+            return Binding(Origin.FRESH, Via.FRESH, "<numpy>")
+        # ndarray-style method calls on tracked receivers.
+        if isinstance(call.func, ast.Attribute):
+            base = self.evaluate(call.func.value)
+            if base is not None:
+                meth = call.func.attr
+                if meth in VIEW_METHODS:
+                    return base.derive(Via.VIEW)
+                if meth in MAYBE_METHODS:
+                    return base.derive(Via.MAYBE)
+                if meth in FRESH_METHODS:
+                    return base.derive(Via.FRESH)
+        return None
+
+    def _bind(self, name: str, binding: Optional[Binding]) -> None:
+        if binding is None:
+            self.env.pop(name, None)
+        else:
+            self.env[name] = binding
+
+    # -- statement walking ---------------------------------------------------
+
+    def run(self) -> List[Event]:
+        self._walk(self.func.body)
+        return self.events
+
+    def _walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested defs are scanned independently
+        self._check_stale_uses(stmt)
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            binding = self.evaluate(stmt.value)
+            self._check_calls(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, binding)
+            else:
+                self._store_target(stmt, stmt.target, stmt.value,
+                                   binding)
+        elif isinstance(stmt, ast.AugAssign):
+            self._augassign(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_calls(stmt.value)
+                self._return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._check_calls(stmt.value)
+            self._expression_stmt(stmt.value)
+        elif isinstance(stmt, (ast.If,)):
+            self._scan_condition(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_calls(stmt.iter)
+            iter_binding = self.evaluate(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                # Loop items of a tracked array are views of it.
+                self._bind(stmt.target.id,
+                           iter_binding.derive(Via.VIEW)
+                           if iter_binding else None)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._scan_condition(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_calls(item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+
+    def _scan_condition(self, test: ast.expr) -> None:
+        self._check_calls(test)
+
+    # -- assignment handling -------------------------------------------------
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        self._check_calls(stmt.value)
+        binding = self.evaluate(stmt.value)
+        # Workspace handle propagation: ws = self.workspace.
+        value_name = dotted_name(stmt.value)
+        is_handle = value_name is not None and (
+            value_name in self.handles
+            or value_name.rsplit(".", 1)[-1] in ("workspace", "ws",
+                                                 "arena"))
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                if is_handle:
+                    self.handles.add(target.id)
+                    self.env.pop(target.id, None)
+                else:
+                    self.handles.discard(target.id)
+                    self._bind(target.id, binding)
+            elif isinstance(target, ast.Tuple) and \
+                    isinstance(stmt.value, ast.Tuple) and \
+                    len(target.elts) == len(stmt.value.elts):
+                for t_el, v_el in zip(target.elts, stmt.value.elts):
+                    if isinstance(t_el, ast.Name):
+                        self._bind(t_el.id, self.evaluate(v_el))
+            else:
+                self._store_target(stmt, target, stmt.value, binding)
+
+    def _store_target(self, stmt: ast.stmt, target: ast.expr,
+                      value: ast.expr,
+                      binding: Optional[Binding]) -> None:
+        """Assignments whose target is not a plain local name."""
+        if isinstance(target, ast.Subscript):
+            base = self.evaluate(target.value)
+            if base is not None and base.possible and \
+                    base.origin is Origin.PARAM and \
+                    self._subscript_is_array_write(target, base.source):
+                self._event("mutation", stmt, base,
+                            "element/slice assignment writes through "
+                            "a caller-owned array")
+            # Borrow stored into a container outlives its scope.
+            self._flag_borrow_escape(stmt, value,
+                                     "stored into a container")
+        elif isinstance(target, ast.Attribute):
+            self._cache_store(stmt, target, value)
+
+    def _cache_store(self, stmt: ast.stmt, target: ast.Attribute,
+                     value: ast.expr) -> None:
+        """``self.<attr> = value`` — the cache-by-reference check."""
+        base = dotted_name(target.value)
+        if base not in ("self", "cls"):
+            return
+        elements: List[ast.expr]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            elements = list(value.elts)
+        else:
+            elements = [value]
+        for element in elements:
+            binding = self.evaluate(element)
+            if binding is None:
+                continue
+            if binding.origin is Origin.PARAM and binding.definite:
+                self._event("cache_store", stmt, binding,
+                            f"self.{target.attr}")
+            if binding.borrowed:
+                self._event("borrow_escape", stmt, binding,
+                            f"stored to self.{target.attr}")
+
+    def _flag_borrow_escape(self, stmt: ast.stmt, value: ast.expr,
+                            how: str) -> None:
+        binding = self.evaluate(value)
+        if binding is not None and binding.borrowed:
+            self._event("borrow_escape", stmt, binding, how)
+
+    def _augassign(self, stmt: ast.AugAssign) -> None:
+        self._check_calls(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            binding = self.env.get(target.id)
+            if binding is not None and binding.definite and \
+                    binding.origin is Origin.PARAM and \
+                    self._param_is_array(binding.source):
+                self._event("mutation", stmt, binding,
+                            "augmented assignment mutates a "
+                            "caller-owned array in place")
+            # x += y rebinds x for immutables; for arrays it is the
+            # same object — keep the binding either way.
+        elif isinstance(target, ast.Subscript):
+            base = self.evaluate(target.value)
+            if base is not None and base.possible and \
+                    base.origin is Origin.PARAM and \
+                    self._subscript_is_array_write(target, base.source):
+                self._event("mutation", stmt, base,
+                            "augmented slice assignment writes "
+                            "through a caller-owned array")
+
+    def _param_annotation(self, name: str) -> Optional[str]:
+        """``ast.dump`` of a parameter's annotation, if it has one."""
+        args = self.func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg == name and arg.annotation is not None:
+                return ast.dump(arg.annotation)
+        return None
+
+    def _param_is_array(self, name: str) -> bool:
+        """Whether a parameter is annotated as an ndarray.
+
+        Bare ``x += 1`` on an unannotated parameter is far more often
+        integer arithmetic than array mutation; only annotated array
+        parameters make the bare form a finding.  Subscript writes and
+        ``out=`` arguments carry their own evidence.
+        """
+        ann = self._param_annotation(name)
+        return ann is not None and ("ndarray" in ann
+                                    or "NDArray" in ann)
+
+    def _subscript_is_array_write(self, target: ast.Subscript,
+                                  source: str) -> bool:
+        """Array evidence for a subscript write through a parameter.
+
+        ``meta["k"] = v`` on a dict parameter pattern-matches an
+        element write; require either an ndarray annotation or slice
+        syntax (unhashable, so never a dict store) before calling it a
+        mutation.  A non-array annotation positively clears it.
+        """
+        ann = self._param_annotation(source)
+        if ann is not None:
+            return "ndarray" in ann or "NDArray" in ann
+        return _subscript_has_slice(target)
+
+    def _return(self, stmt: ast.Return) -> None:
+        """Record workspace-origin bindings flowing out via return."""
+        value = stmt.value
+        elements: List[ast.expr]
+        if isinstance(value, (ast.Tuple, ast.List)):
+            elements = list(value.elts)
+        else:
+            elements = [value]  # type: ignore[list-item]
+        for element in elements:
+            binding = self.evaluate(element)
+            if binding is not None and \
+                    binding.origin is Origin.WORKSPACE and \
+                    binding.possible:
+                self._event("return", stmt, binding,
+                            "returns arena-backed memory")
+
+    # -- call-site checks ----------------------------------------------------
+
+    def _check_calls(self, expr: ast.expr) -> None:
+        """Find mutation evidence in every call under ``expr``."""
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_call_name(node, self.aliases)
+            # out=<caller-owned> keyword.
+            for kw in node.keywords:
+                if kw.arg in ("out", "where_out"):
+                    binding = self.evaluate(kw.value)
+                    if binding is not None and binding.possible and \
+                            binding.origin is Origin.PARAM:
+                        self._event("mutation", node, binding,
+                                    "out= argument writes into a "
+                                    "caller-owned array")
+            # np.copyto(dst, …) and friends.
+            if qual in INPLACE_FIRST_ARG_FUNCS and node.args:
+                binding = self.evaluate(node.args[0])
+                if binding is not None and binding.possible and \
+                        binding.origin is Origin.PARAM:
+                    self._event("mutation", node, binding,
+                                f"{qual}() writes into a "
+                                f"caller-owned array")
+            # arr.fill(...) style in-place methods.
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in INPLACE_METHODS:
+                binding = self.evaluate(node.func.value)
+                if binding is not None and binding.definite and \
+                        binding.origin is Origin.PARAM:
+                    self._event("mutation", node, binding,
+                                f".{node.func.attr}() mutates a "
+                                f"caller-owned array in place")
+            # ws.reset() staleness barrier.
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "reset" and \
+                    _receiver_is_workspace(node.func.value,
+                                           self.handles):
+                self._mark_reset()
+
+    def _mark_reset(self) -> None:
+        self.after_reset = True
+        for name, binding in list(self.env.items()):
+            if binding.origin is Origin.WORKSPACE:
+                self.env[name] = Binding(
+                    binding.origin, binding.via, binding.source,
+                    borrowed=binding.borrowed, stale=True)
+
+    def _check_stale_uses(self, stmt: ast.stmt) -> None:
+        if not self.after_reset:
+            return
+        if isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While,
+                             ast.With, ast.AsyncWith, ast.Try)):
+            return  # compound statements: leaves are checked per-stmt
+        # ``new is not old`` identity assertions read the *reference*,
+        # not the dropped memory — common in arena tests; exempt them.
+        identity_operands: Set[ast.AST] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Compare) and all(
+                    isinstance(op, (ast.Is, ast.IsNot))
+                    for op in node.ops):
+                identity_operands.add(node.left)
+                identity_operands.update(node.comparators)
+        for node in ast.walk(stmt):
+            if node in identity_operands:
+                continue
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load):
+                binding = self.env.get(node.id)
+                if binding is not None and binding.stale:
+                    self._event("use_after_reset", node, binding,
+                                f"{node.id} still refers to an arena "
+                                f"buffer dropped by reset()")
+                    # One report per name is enough.
+                    self.env[node.id] = Binding(
+                        binding.origin, binding.via, binding.source,
+                        borrowed=binding.borrowed, stale=False)
+
+    # -- statement-level expressions ----------------------------------------
+
+    #: container methods that retain their argument.
+    _RETAINING_METHODS = frozenset({"append", "add", "insert",
+                                    "extend", "appendleft", "push"})
+
+    def _expression_stmt(self, expr: ast.expr) -> None:
+        # container.append(borrow) retains the borrow past its scope;
+        # plain calls consuming the buffer (gemm into it, etc.) do not.
+        if isinstance(expr, ast.Call) and \
+                isinstance(expr.func, ast.Attribute) and \
+                expr.func.attr in self._RETAINING_METHODS:
+            for arg in expr.args:
+                self._flag_borrow_escape(
+                    expr, arg,
+                    f"retained via .{expr.func.attr}()")
+
+
+def iter_function_events(tree: ast.Module) -> Iterator[Event]:
+    """Scan every function (incl. methods) in a module for events."""
+    from .astutils import import_aliases
+    aliases = import_aliases(tree)
+    for func, class_name in _functions(tree):
+        scan = FunctionScan(func, aliases, class_name)
+        yield from scan.run()
+
+
+def _functions(tree: ast.Module
+               ) -> Iterator[Tuple[FuncDef, Optional[str]]]:
+    """(function, enclosing class name) pairs, in source order."""
+    def visit(node: ast.AST, class_name: Optional[str]
+              ) -> Iterator[Tuple[FuncDef, Optional[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                yield child, class_name
+                yield from visit(child, class_name)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            else:
+                yield from visit(child, class_name)
+    yield from visit(tree, None)
+
+
+@dataclass
+class ModuleEvents:
+    """All events of one module, grouped for the rules."""
+
+    events: List[Event] = field(default_factory=list)
+
+    @classmethod
+    def scan(cls, tree: ast.Module) -> "ModuleEvents":
+        return cls(events=list(iter_function_events(tree)))
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]

@@ -264,6 +264,14 @@ class SwallowedExceptionRule(Rule):
     with wrong numbers.  Tolerating faults is fine, but only visibly:
     re-raise a typed error, or record a fault event / metric inside
     the handler.
+
+    Two escalations beyond plain ``except Exception``:
+
+    * bare ``except:`` and ``except BaseException:`` also swallow
+      ``KeyboardInterrupt``/``SystemExit`` — recording is *not*
+      enough there; the handler must re-raise;
+    * a broad handler whose body is only ``pass``/``continue`` is the
+      purest form of the bug and gets a pointed message.
     """
 
     rule_id = "RL005"
@@ -272,6 +280,9 @@ class SwallowedExceptionRule(Rule):
                  "runs; re-raise typed or record a fault event")
 
     broad_names = frozenset({"Exception", "BaseException"})
+
+    #: These also catch KeyboardInterrupt/SystemExit: must re-raise.
+    very_broad_names = frozenset({"BaseException"})
 
     #: Method names that count as recording the failure.
     recording_calls = frozenset({
@@ -287,13 +298,30 @@ class SwallowedExceptionRule(Rule):
                 continue
             if handler_has_raise(node):
                 continue
-            if self._records_fault(node):
+            very_broad = self._is_very_broad(node.type)
+            if not very_broad and self._records_fault(node):
                 continue
-            yield self.violation(
-                src.path, node.lineno, node.col_offset,
-                "except Exception without re-raise or fault "
-                "recording silently swallows BenchmarkError; "
-                "re-raise typed or record a fault event")
+            if self._only_skips(node):
+                what = "bare except" if node.type is None else \
+                    "except BaseException" if very_broad else \
+                    "except Exception"
+                yield self.violation(
+                    src.path, node.lineno, node.col_offset,
+                    f"{what} with a pass/continue-only body discards "
+                    f"every error unconditionally; narrow the type, "
+                    f"re-raise, or record the fault")
+            elif very_broad:
+                yield self.violation(
+                    src.path, node.lineno, node.col_offset,
+                    "bare except / except BaseException also swallows "
+                    "KeyboardInterrupt and SystemExit; recording is "
+                    "not enough here — re-raise, or catch Exception")
+            else:
+                yield self.violation(
+                    src.path, node.lineno, node.col_offset,
+                    "except Exception without re-raise or fault "
+                    "recording silently swallows BenchmarkError; "
+                    "re-raise typed or record a fault event")
 
     def _is_broad(self, type_node: Optional[ast.AST]) -> bool:
         if type_node is None:  # bare except:
@@ -303,6 +331,24 @@ class SwallowedExceptionRule(Rule):
         name = dotted_name(type_node)
         return name is not None and \
             name.rsplit(".", 1)[-1] in self.broad_names
+
+    def _is_very_broad(self, type_node: Optional[ast.AST]) -> bool:
+        """Bare ``except:`` or anything naming ``BaseException``."""
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_very_broad(el) for el in type_node.elts)
+        name = dotted_name(type_node)
+        return name is not None and \
+            name.rsplit(".", 1)[-1] in self.very_broad_names
+
+    @staticmethod
+    def _only_skips(handler: ast.ExceptHandler) -> bool:
+        """Body is nothing but ``pass``/``continue`` (and docstrings)."""
+        return all(isinstance(stmt, (ast.Pass, ast.Continue))
+                   or (isinstance(stmt, ast.Expr)
+                       and isinstance(stmt.value, ast.Constant))
+                   for stmt in handler.body)
 
     def _records_fault(self, handler: ast.ExceptHandler) -> bool:
         for stmt in handler.body:

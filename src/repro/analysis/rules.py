@@ -143,7 +143,7 @@ def all_rules(select: Optional[List[str]] = None) -> List[Rule]:
     """
     # Rule modules register on import; pull them in lazily to avoid an
     # import cycle (they import this module for the base class).
-    from . import contract, determinism  # noqa: F401
+    from . import aliasing, contract, determinism  # noqa: F401
     if select is None:
         ids = sorted(_REGISTRY)
     else:
@@ -158,13 +158,13 @@ def all_rules(select: Optional[List[str]] = None) -> List[Rule]:
 
 def rule_ids() -> List[str]:
     """Sorted ids of every registered rule."""
-    from . import contract, determinism  # noqa: F401
+    from . import aliasing, contract, determinism  # noqa: F401
     return sorted(_REGISTRY)
 
 
 def get_rule(rule_id: str) -> Rule:
     """Instantiate one rule by id."""
-    from . import contract, determinism  # noqa: F401
+    from . import aliasing, contract, determinism  # noqa: F401
     if rule_id not in _REGISTRY:
         raise ConfigError(
             f"unknown rule id {rule_id!r}; known: {sorted(_REGISTRY)}")

@@ -582,7 +582,23 @@ def _cmd_lint(args) -> int:
         print(render_json(result))
     else:
         print(render_text(result))
-    return result.exit_code
+    code = result.exit_code
+    if args.sanitize:
+        # The dynamic half of the aliasing defense: run the fused
+        # mini-YOLO sweep under the runtime array sanitizer.  The
+        # summary goes to stderr in --json mode so the JSON report
+        # schema on stdout stays intact.
+        from .errors import AliasError
+        from .nn.sanitizer import run_sanitize_sweep
+        stream = sys.stderr if args.json else sys.stdout
+        try:
+            sweep = run_sanitize_sweep()
+        except AliasError as exc:
+            print(f"sanitize: ALIAS VIOLATION — {exc}", file=stream)
+            return 1
+        print(sweep.render(), file=stream)
+        code = code or (0 if sweep.clean else 1)
+    return code
 
 
 def _cmd_report(_args) -> int:
@@ -829,6 +845,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--select", default=None,
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    lint_p.add_argument("--sanitize", action="store_true",
+                        help="also run the fused-vs-unfused mini-YOLO "
+                             "sweep under the runtime array sanitizer "
+                             "(writeable fencing + shares_memory "
+                             "checks); failures exit non-zero")
 
     sub.add_parser("report",
                    help="run all fast experiments, print the report")

@@ -37,6 +37,12 @@ class TrainingError(ReproError):
     """Training loop failure (non-finite loss, empty batch, bad protocol)."""
 
 
+class AliasError(ModelError):
+    """Two logical tensors share memory they must not (workspace
+    double-borrow, leaked borrow across ``reset()``, an output aliasing
+    an arena buffer).  Raised by the runtime array sanitizer."""
+
+
 class HardwareError(ReproError):
     """Unknown device or inconsistent device specification."""
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from .layers import BatchNorm2d, Conv2d, Layer, MaxPool2d, SiLU
+from .sanitizer import freeze
 
 
 class _Composite(Layer):
@@ -189,7 +190,8 @@ class SPPFBlock(_Composite):
         p2, a2 = self._pool3_s1(p1)
         p3, a3 = self._pool3_s1(p2)
         cat = np.concatenate([y, p1, p2, p3], axis=1)
-        self._cache = (y.shape, a1, a2, a3) if training else None
+        self._cache = (y.shape, freeze(a1), freeze(a2), freeze(a3)) \
+            if training else None
         return self.post(cat, training)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -242,7 +242,12 @@ class FusedConvBNAct(Layer):
         with tracer.span("nn.act"):
             _apply_act_(out2d, self.act, self.slope)
         out = out2d.reshape(n, ho, wo, self.out_channels)
-        return np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+        # .copy(), not ascontiguousarray: for a 1x1 spatial output the
+        # transposed view is already contiguous and ascontiguousarray
+        # would return it as-is — the arena GEMM buffer escaping to the
+        # caller, overwritten next frame (RL203).  Copy is bitwise-
+        # identical and always fresh.
+        return out.transpose(0, 3, 1, 2).copy()
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise ModelError("fused layers are eval-only; no backward")

@@ -17,6 +17,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 from ..errors import ShapeError
 from ..obs import current_tracer
 from .init import he_init, xavier_init, zeros_init
+from .sanitizer import freeze
 from .workspace import Workspace
 
 #: Target bytes for one im2col row-block in the workspace-backed conv
@@ -160,7 +161,7 @@ class Conv2d(Layer):
         out = np.ascontiguousarray(out.transpose(0, 3, 1, 2),
                                    dtype=np.float32)
         if training:
-            self._cache = (x.shape, cols, (n, ho, wo, hp, wp))
+            self._cache = (x.shape, freeze(cols), (n, ho, wo, hp, wp))
         return out
 
     def _forward_workspace(self, x: np.ndarray) -> np.ndarray:
@@ -209,8 +210,12 @@ class Conv2d(Layer):
             if self.bias is not None:
                 out2d += self.bias
         out = out2d.reshape(n, ho, wo, self.out_channels)
-        return np.ascontiguousarray(out.transpose(0, 3, 1, 2),
-                                    dtype=np.float32)
+        # .copy(), not ascontiguousarray: when the transposed view is
+        # already contiguous (1x1 spatial output) ascontiguousarray
+        # returns the view itself — an arena buffer escaping to the
+        # caller, overwritten on the next frame.  An explicit copy is
+        # bitwise-identical and always fresh (RL203).
+        return out.transpose(0, 3, 1, 2).copy()
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
@@ -283,7 +288,8 @@ class BatchNorm2d(Layer):
             * inv_std[None, :, None, None]
         out = (self.gamma[None, :, None, None] * x_hat
                + self.beta[None, :, None, None]).astype(np.float32)
-        self._cache = (x_hat, inv_std, x.shape) if training else None
+        self._cache = (freeze(x_hat), freeze(inv_std), x.shape) \
+            if training else None
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -321,7 +327,13 @@ class SiLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         s = sigmoid(x)
-        self._cache = (x, s) if training else None
+        if training:
+            # Copy, not a reference: the caller owns x and may reuse
+            # its buffer before backward runs (RL202 — the same
+            # by-reference-cache family as the Linear gradient bug).
+            self._cache = (freeze(x.copy()), freeze(s))
+        else:
+            self._cache = None
         return (x * s).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -340,7 +352,7 @@ class ReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         mask = x > 0
-        self._mask = mask if training else None
+        self._mask = freeze(mask) if training else None
         return np.where(mask, x, 0.0).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -359,7 +371,7 @@ class LeakyReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
         mask = x > 0
-        self._mask = mask if training else None
+        self._mask = freeze(mask) if training else None
         return np.where(mask, x, self.slope * x).astype(np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -392,7 +404,7 @@ class MaxPool2d(Layer):
         arg = windows.argmax(axis=-1)
         out = np.take_along_axis(windows, arg[..., None],
                                  axis=-1)[..., 0]
-        self._cache = (arg, x.shape) if training else None
+        self._cache = (freeze(arg), x.shape) if training else None
         return np.ascontiguousarray(out, dtype=np.float32)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

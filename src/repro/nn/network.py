@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import ModelError
 from ..io.serialization import load_checkpoint, restore_into, save_checkpoint
 from .layers import Layer
+from .sanitizer import frozen_params, sanitizer_active
 
 
 class Sequential(Layer):
@@ -28,6 +29,15 @@ class Sequential(Layer):
         self.name = name
 
     def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training and sanitizer_active():
+            # Eval forwards never legitimately write a parameter or a
+            # running statistic; under the sanitizer the whole pass
+            # runs against write-protected weights so an in-place
+            # epilogue touching one raises at the write site.
+            with frozen_params(self):
+                for layer in self.layers:
+                    x = layer.forward(x, training=False)
+                return x
         for layer in self.layers:
             x = layer.forward(x, training=training)
         return x

@@ -9,6 +9,13 @@ path.  A :class:`Workspace` removes that: buffers are keyed by
 ``(owner, tag, shape, dtype)`` and handed back zero-copy on every
 subsequent request with the same key.
 
+Owners are identified by a per-owner **monotonic token** held in a
+weak-reference table, never by ``id(owner)``: CPython reuses object ids
+after garbage collection, so an id-keyed arena could silently hand a
+fresh layer the stale buffer of a dead one.  When an owner is
+collected, its buffers are evicted from the arena (and write-fenced
+under the sanitizer), so a recycled id can never alias old memory.
+
 Lifetime contract (see DESIGN.md §"Fusion/workspace layer"):
 
 * a buffer returned by :meth:`Workspace.buffer` is valid until the next
@@ -20,19 +27,26 @@ Lifetime contract (see DESIGN.md §"Fusion/workspace layer"):
 * :meth:`reset` drops every buffer (e.g. between workloads, or to bound
   memory after a shape sweep); the next request reallocates.
 
+Scoped borrows use :meth:`take`/:meth:`release` instead of ``buffer``:
+semantically the same arena lookup, but the borrow is recorded so the
+runtime sanitizer (:mod:`repro.nn.sanitizer`) can flag double-borrows
+of one key and borrows still outstanding at :meth:`reset` — the
+dynamic twin of the static RL204 rule.
+
 The arena is deliberately not thread-safe: one workspace per network
 per worker, matching how ``parallel_map`` shards own their models.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import weakref
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import AliasError, ShapeError
 
-#: Key: (owner id, tag, shape, dtype name).
+#: Key: (owner token, tag, shape, dtype name).
 _Key = Tuple[int, str, Tuple[int, ...], str]
 
 
@@ -41,8 +55,61 @@ class Workspace:
 
     def __init__(self) -> None:
         self._buffers: Dict[_Key, np.ndarray] = {}
+        #: Owner object -> monotonic token (weak keys: a dead owner
+        #: drops out and its buffers are evicted by the ref callback).
+        self._tokens: "weakref.WeakKeyDictionary[object, int]" = \
+            weakref.WeakKeyDictionary()
+        #: Keeps the eviction weakrefs alive, token -> ref.
+        self._reapers: Dict[int, weakref.ref] = {}
+        #: Fallback tokens for owners that cannot be weak-referenced
+        #: (no eviction possible; documented sharp edge).
+        self._pinned_tokens: Dict[int, int] = {}
+        self._next_token = 0
+        #: Outstanding scoped borrows (:meth:`take` without matching
+        #: :meth:`release`).
+        self._taken: Dict[_Key, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+
+    # -- owner identity ----------------------------------------------------
+
+    def _evict(self, token: int) -> None:
+        """Drop a dead owner's buffers (weakref finalizer callback)."""
+        self._reapers.pop(token, None)
+        dead = [key for key in self._buffers if key[0] == token]
+        for key in dead:
+            _fence(self._buffers.pop(key))
+        for key in [k for k in self._taken if k[0] == token]:
+            del self._taken[key]
+
+    def _token(self, owner: object) -> int:
+        """Stable per-owner token; survives id reuse, evicts on GC."""
+        try:
+            token = self._tokens.get(owner)
+        except TypeError:  # unhashable owner: pin by id, no eviction
+            pinned = self._pinned_tokens.get(id(owner))
+            if pinned is None:
+                pinned = self._next_token
+                self._next_token += 1
+                self._pinned_tokens[id(owner)] = pinned
+            return pinned
+        if token is None:
+            token = self._next_token
+            self._next_token += 1
+            try:
+                self._tokens[owner] = token
+                self._reapers[token] = weakref.ref(
+                    owner, lambda _ref, t=token: self._evict(t))
+            except TypeError:  # not weak-referenceable: pin by id
+                self._pinned_tokens[id(owner)] = token
+        return token
+
+    # -- buffers -----------------------------------------------------------
+
+    def _key(self, owner: object, tag: str, shape: Tuple[int, ...],
+             dtype: np.dtype) -> _Key:
+        dname = "float32" if dtype is np.float32 else np.dtype(dtype).name
+        return (self._token(owner), tag, shape, dname)
 
     def buffer(self, owner: object, tag: str,
                shape: Tuple[int, ...],
@@ -53,8 +120,7 @@ class Workspace:
         array; contents are whatever the previous use left behind, so
         callers must overwrite fully (or :meth:`zeros` for cleared).
         """
-        dname = "float32" if dtype is np.float32 else np.dtype(dtype).name
-        key: _Key = (id(owner), tag, shape, dname)
+        key = self._key(owner, tag, shape, dtype)
         buf = self._buffers.get(key)
         if buf is None:
             if any(int(s) < 1 for s in shape):
@@ -75,9 +141,68 @@ class Workspace:
         buf.fill(0)
         return buf
 
+    # -- scoped borrows ----------------------------------------------------
+
+    def take(self, owner: object, tag: str, shape: Tuple[int, ...],
+             dtype: np.dtype = np.float32) -> np.ndarray:
+        """Borrow a buffer with recorded lifetime.
+
+        Identical arena semantics to :meth:`buffer`, but the borrow is
+        tracked until :meth:`release`.  Under the runtime sanitizer a
+        second ``take`` of a still-borrowed key raises
+        :class:`~repro.errors.AliasError` (two logical tensors would
+        alias one array), as does :meth:`reset` while borrows are
+        outstanding (a leaked borrow would dangle into freed arena
+        space).
+        """
+        key = self._key(owner, tag, shape, dtype)
+        if key in self._taken and _sanitizing():
+            raise AliasError(
+                f"double borrow of workspace buffer {key[1]!r} "
+                f"{key[2]} — release() the first borrow before "
+                f"taking the key again")
+        buf = self.buffer(owner, tag, shape, dtype)
+        self._taken[key] = buf
+        return buf
+
+    def release(self, owner: object, tag: str) -> None:
+        """Return every outstanding :meth:`take` of ``(owner, tag)``."""
+        token = self._token(owner)
+        keys = [k for k in self._taken
+                if k[0] == token and k[1] == tag]
+        if not keys and _sanitizing():
+            raise AliasError(
+                f"release of workspace tag {tag!r} that was never "
+                f"taken (or already released)")
+        for key in keys:
+            del self._taken[key]
+
+    @property
+    def borrowed(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """(tag, shape) of every outstanding borrow, sorted."""
+        return sorted((k[1], k[2]) for k in self._taken)
+
+    # -- lifecycle ---------------------------------------------------------
+
     def reset(self) -> None:
-        """Drop every buffer; subsequent requests reallocate."""
+        """Drop every buffer; subsequent requests reallocate.
+
+        Under the runtime sanitizer, outstanding :meth:`take` borrows
+        make this raise (leak detector), and every dropped buffer is
+        write-fenced so a stale reference held across the reset fails
+        loudly on its next write instead of corrupting a reallocated
+        frame.
+        """
+        if self._taken and _sanitizing():
+            leaked = ", ".join(f"{t}{s}" for t, s in self.borrowed)
+            raise AliasError(
+                f"workspace reset() with outstanding borrows: {leaked} "
+                f"— every take() needs a matching release()")
+        if _sanitizing():
+            for buf in self._buffers.values():
+                _fence(buf)
         self._buffers.clear()
+        self._taken.clear()
 
     @property
     def num_buffers(self) -> int:
@@ -87,3 +212,18 @@ class Workspace:
     def nbytes(self) -> int:
         """Total bytes currently held by the arena."""
         return int(sum(b.nbytes for b in self._buffers.values()))
+
+
+def _sanitizing() -> bool:
+    """Whether the runtime array sanitizer is active (late import:
+    sanitizer imports this module for the wrapped arena)."""
+    from .sanitizer import sanitizer_active
+    return sanitizer_active()
+
+
+def _fence(buf: np.ndarray) -> None:
+    """Make a dropped buffer read-only so stale writers fail loudly."""
+    try:
+        buf.flags.writeable = False
+    except ValueError:  # pragma: no cover - non-owning view
+        pass

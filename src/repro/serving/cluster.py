@@ -1085,7 +1085,17 @@ class ClusterSimulator:
             "rng": self._rng.bit_generator.state,
             "envelope_baseline": self._envelope.baseline,
         }
-        return copy.deepcopy(snap)
+        snap = copy.deepcopy(snap)
+        from ..nn.sanitizer import assert_tree_disjoint, sanitizer_active
+        if sanitizer_active():
+            # A snapshot aliasing live state (e.g. an RNG state array
+            # the deepcopy missed) would mutate retroactively as the
+            # run continues; prove every ndarray leaf is disjoint.
+            assert_tree_disjoint(
+                snap, {"rng": self._rng.bit_generator.state,
+                       "report": asdict(s["report"])},
+                context="ClusterSimulator.snapshot")
+        return snap
 
     @classmethod
     def restore(cls, config: ClusterConfig, snap: dict,

@@ -6,6 +6,8 @@ session-scoped so the whole suite pays for them once.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,12 +18,45 @@ from repro.models.yolo.train import DetectorTrainer, frames_to_arrays
 
 SEED = 7
 
+#: Test modules re-run under the runtime array sanitizer when
+#: ``REPRO_SANITIZE=1`` (the CI sanitizer job): the ones exercising
+#: the buffer-sharing hot paths the sanitizer exists to police.
+SANITIZED_MODULES = (
+    "test_nn_blocks_network",
+    "test_nn_fuse",
+    "test_nn_layers",
+    "test_nn_sanitizer",
+    "test_serving_cluster",
+)
+
 
 def pytest_addoption(parser):
     parser.addoption(
         "--update-golden", action="store_true", default=False,
         help="rewrite tests/golden/*.json from this run's outputs "
              "(the golden-regression tests then pass trivially)")
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_hot_paths(request):
+    """Opt-in aliasing watchdog for the buffer-sharing test modules.
+
+    With ``REPRO_SANITIZE=1`` every test in :data:`SANITIZED_MODULES`
+    runs inside ``sanitize()``: parameters are frozen during eval
+    forwards, backward caches become read-only, and the workspace
+    arena enforces its borrow ledger.  A test that only passed because
+    aliasing went unnoticed fails loudly here.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    module = request.node.module.__name__.rsplit(".", 1)[-1]
+    if module not in SANITIZED_MODULES:
+        yield
+        return
+    from repro.nn.sanitizer import sanitize
+    with sanitize():
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,245 @@
+"""Unit tests for the aliasing dataflow pass (repro.analysis.dataflow).
+
+The RL2xx rules are only as good as the binding algebra underneath;
+these tests pin the algebra itself: origin assignment, the
+view/maybe/fresh propagation lattice, workspace-handle recognition,
+rebinding, and event emission — independent of any rule's policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.astutils import import_aliases
+from repro.analysis.dataflow import (Binding, FunctionScan, ModuleEvents,
+                                     Origin, Via, _subscript_has_slice)
+
+
+def scan_first_function(source):
+    """Scan the first function/method in ``source``; return the scan."""
+    tree = ast.parse(textwrap.dedent(source))
+    aliases = import_aliases(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            scan = FunctionScan(node, aliases)
+            scan.run()
+            return scan
+    raise AssertionError("no function in source")
+
+
+def events_of(source, kind=None):
+    tree = ast.parse(textwrap.dedent(source))
+    events = ModuleEvents.scan(tree).events
+    if kind is not None:
+        events = [e for e in events if e.kind == kind]
+    return events
+
+
+class TestBindingAlgebra:
+    def test_param_starts_as_alias(self):
+        scan = scan_first_function("def f(x):\n    return x\n")
+        assert scan.env["x"] == Binding(Origin.PARAM, Via.ALIAS, "x")
+
+    def test_view_of_param(self):
+        scan = scan_first_function("""
+            def f(x):
+                v = x.T
+                w = x[0]
+                t = x.transpose(1, 0)
+                return v, w, t
+            """)
+        for name in ("v", "w", "t"):
+            binding = scan.env[name]
+            assert binding.origin is Origin.PARAM
+            assert binding.via is Via.VIEW
+            assert binding.definite
+
+    def test_conditional_copy_of_param(self):
+        scan = scan_first_function("""
+            import numpy as np
+            def f(x):
+                a = x.reshape(-1)
+                b = np.ascontiguousarray(x)
+                c = np.asarray(x)
+                return a, b, c
+            """)
+        for name in ("a", "b", "c"):
+            binding = scan.env[name]
+            assert binding.via is Via.MAYBE
+            assert binding.possible and not binding.definite
+
+    def test_copy_is_fresh(self):
+        scan = scan_first_function("""
+            import numpy as np
+            def f(x):
+                a = x.copy()
+                b = x.astype(np.float64)
+                c = np.array(x)
+                d = x * 2
+                return a, b, c, d
+            """)
+        for name in ("a", "b", "c", "d"):
+            assert scan.env[name].via is Via.FRESH
+            assert not scan.env[name].possible
+
+    def test_view_of_maybe_stays_maybe(self):
+        scan = scan_first_function("""
+            def f(x):
+                m = x.reshape(2, 2)
+                v = m.T
+                return v
+            """)
+        assert scan.env["v"].via is Via.MAYBE
+
+    def test_copy_of_view_is_fresh(self):
+        scan = scan_first_function("""
+            def f(x):
+                v = x.T
+                c = v.copy()
+                return c
+            """)
+        assert scan.env["c"].via is Via.FRESH
+
+    def test_rebinding_clears_param_origin(self):
+        scan = scan_first_function("""
+            def f(x):
+                x = x - x.max()
+                return x
+            """)
+        assert scan.env["x"].via is Via.FRESH
+
+    def test_freeze_is_transparent(self):
+        scan = scan_first_function("""
+            from repro.nn.sanitizer import freeze
+            def f(x):
+                a = freeze(x)
+                b = freeze(x.copy())
+                return a, b
+            """)
+        assert scan.env["a"].via is Via.ALIAS
+        assert scan.env["a"].origin is Origin.PARAM
+        assert scan.env["b"].via is Via.FRESH
+
+    def test_unknown_call_untracked(self):
+        scan = scan_first_function("""
+            def f(x):
+                y = mystery(x)
+                return y
+            """)
+        assert "y" not in scan.env
+
+
+class TestWorkspaceTracking:
+    def test_handle_from_self_attribute(self):
+        scan = scan_first_function("""
+            def f(self, x):
+                ws = self.workspace
+                buf = ws.buffer(self, "gemm", (8, 4))
+                return buf
+            """)
+        assert "ws" in scan.handles
+        binding = scan.env["buf"]
+        assert binding.origin is Origin.WORKSPACE
+        assert binding.source == "gemm"
+        assert not binding.borrowed
+
+    def test_workspace_param_is_handle(self):
+        scan = scan_first_function("""
+            def f(workspace, x):
+                buf = workspace.zeros(None, "acc", (4,))
+                return buf
+            """)
+        assert scan.env["buf"].origin is Origin.WORKSPACE
+
+    def test_take_marks_borrowed(self):
+        scan = scan_first_function("""
+            def f(self, x):
+                ws = self.workspace
+                buf = ws.take(self, "cols", (8, 8))
+                return buf
+            """)
+        assert scan.env["buf"].borrowed
+
+    def test_reset_marks_stale(self):
+        scan = scan_first_function("""
+            def f(self, x):
+                ws = self.workspace
+                buf = ws.buffer(self, "pad", (4, 4))
+                ws.reset()
+                return x
+            """)
+        assert scan.env["buf"].stale
+
+
+class TestEvents:
+    def test_mutation_event_fields(self):
+        events = events_of("""
+            def resize(x):
+                x[:] = 0
+            """, kind="mutation")
+        assert len(events) == 1
+        ev = events[0]
+        assert ev.binding.source == "x"
+        assert ev.func_name == "resize"
+        assert ev.public
+
+    def test_private_function_not_public(self):
+        events = events_of("""
+            class C:
+                def _helper(self, x):
+                    ws = self.workspace
+                    return ws.buffer(self, "t", (2,))
+            """, kind="return")
+        assert len(events) == 1
+        assert not events[0].public
+
+    def test_cache_store_event(self):
+        events = events_of("""
+            class L:
+                def forward(self, x):
+                    self._x = x
+                    return x
+            """, kind="cache_store")
+        assert len(events) == 1
+        assert events[0].detail == "self._x"
+
+    def test_nested_functions_scanned_independently(self):
+        events = events_of("""
+            def outer(x):
+                def inner(y):
+                    y[:] = 0
+                inner(x)
+            """, kind="mutation")
+        assert len(events) == 1
+        assert events[0].binding.source == "y"
+        assert events[0].func_name == "inner"
+
+    def test_methods_of_all_classes_scanned(self):
+        events = events_of("""
+            class A:
+                def forward(self, x):
+                    self._a = x
+                    return x
+            class B:
+                def forward(self, x):
+                    self._b = x
+                    return x
+            """, kind="cache_store")
+        assert {e.detail for e in events} == {"self._a", "self._b"}
+
+
+class TestSubscriptEvidence:
+    @pytest.mark.parametrize("expr,expected", [
+        ("x[0:2]", True),
+        ("x[a:b, c]", True),
+        ("x[1:2][m]", True),
+        ("x['key']", False),
+        ("x[k]", False),
+        ("x[i][j]", False),
+    ])
+    def test_slice_detection(self, expr, expected):
+        node = ast.parse(expr, mode="eval").body
+        assert _subscript_has_slice(node) is expected

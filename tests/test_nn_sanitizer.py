@@ -1,0 +1,297 @@
+"""Runtime array-sanitizer tests: the dynamic half of the RL2xx defense.
+
+Covers the workspace token keying (id-reuse regression), the borrow
+ledger (double-take / leak / release-without-take detectors), writeable
+fencing of parameters and dropped buffers, the disjointness assertions,
+the serving-snapshot guard, and the headline acceptance test: the
+fused-vs-unfused mini-YOLO sweep runs clean under the sanitizer with
+bitwise-identical outputs.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import AliasError
+from repro.nn.layers import Linear
+from repro.nn.sanitizer import (SanitizeReport, assert_disjoint,
+                                assert_tree_disjoint, current_sanitizer,
+                                freeze, frozen_params,
+                                run_sanitize_sweep, sanitize,
+                                sanitizer_active)
+from repro.nn.workspace import Workspace
+
+
+class _Owner:
+    """Plain hashable, weak-referenceable buffer owner."""
+
+
+class TestWorkspaceTokenKeying:
+    def test_same_owner_same_buffer(self):
+        ws = Workspace()
+        owner = _Owner()
+        a = ws.buffer(owner, "cols", (4, 4))
+        b = ws.buffer(owner, "cols", (4, 4))
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_distinct_owners_distinct_buffers(self):
+        ws = Workspace()
+        o1, o2 = _Owner(), _Owner()
+        assert ws.buffer(o1, "cols", (4, 4)) is not \
+            ws.buffer(o2, "cols", (4, 4))
+
+    def test_dead_owner_buffers_evicted(self):
+        ws = Workspace()
+        owner = _Owner()
+        ws.buffer(owner, "cols", (4, 4))
+        ws.buffer(owner, "pad", (2, 2))
+        assert ws.num_buffers == 2
+        del owner
+        gc.collect()
+        assert ws.num_buffers == 0
+
+    def test_id_reuse_never_aliases_stale_buffer(self):
+        """The id(owner) regression: a fresh layer whose id CPython
+        recycled from a dead one must NOT inherit the dead layer's
+        buffer."""
+        ws = Workspace()
+        seen_ids = set()
+        reused_id = False
+        for i in range(64):
+            owner = _Owner()
+            if id(owner) in seen_ids:
+                reused_id = True
+            seen_ids.add(id(owner))
+            buf = ws.buffer(owner, "cols", (4, 4))
+            # A recycled-id owner getting a stale buffer would see the
+            # previous iteration's sentinel instead of allocating.
+            assert ws.misses == i + 1, \
+                "fresh owner was handed a cached (stale) buffer"
+            buf.fill(i)
+            del owner, buf
+            gc.collect()
+        assert reused_id, \
+            "loop never provoked id reuse; regression not exercised"
+        assert ws.num_buffers == 0
+
+    def test_tokens_are_unique_per_owner(self):
+        ws = Workspace()
+        owners = [_Owner() for _ in range(8)]
+        tokens = [ws._token(o) for o in owners]
+        assert len(set(tokens)) == len(tokens)
+        assert tokens == [ws._token(o) for o in owners]  # stable
+
+    def test_unhashable_owner_pinned_fallback(self):
+        ws = Workspace()
+        owner = {"layer": "conv1"}  # dict: unhashable
+        a = ws.buffer(owner, "cols", (4, 4))
+        assert ws.buffer(owner, "cols", (4, 4)) is a
+
+    def test_non_weakrefable_owner_pinned_fallback(self):
+        ws = Workspace()
+        a = ws.buffer("conv1", "cols", (4, 4))  # str: no weakrefs
+        assert ws.buffer("conv1", "cols", (4, 4)) is a
+
+
+class TestBorrowLedger:
+    def test_double_take_raises_under_sanitizer(self):
+        ws = Workspace()
+        owner = _Owner()
+        with sanitize():
+            ws.take(owner, "cols", (8, 8))
+            with pytest.raises(AliasError, match="double borrow"):
+                ws.take(owner, "cols", (8, 8))
+
+    def test_leaked_borrow_trips_reset(self):
+        """The injected-leak acceptance test: take() without release()
+        followed by reset() must raise."""
+        ws = Workspace()
+        owner = _Owner()
+        with sanitize():
+            ws.take(owner, "cols", (8, 8))
+            with pytest.raises(AliasError, match="outstanding"):
+                ws.reset()
+
+    def test_release_without_take_raises(self):
+        ws = Workspace()
+        owner = _Owner()
+        with sanitize():
+            with pytest.raises(AliasError, match="never"):
+                ws.release(owner, "cols")
+
+    def test_take_release_cycle_clean(self):
+        ws = Workspace()
+        owner = _Owner()
+        with sanitize():
+            buf = ws.take(owner, "cols", (8, 8))
+            buf.fill(1.0)
+            ws.release(owner, "cols")
+            ws.reset()
+        assert ws.borrowed == []
+
+    def test_dropped_buffer_is_write_fenced(self):
+        ws = Workspace()
+        owner = _Owner()
+        with sanitize():
+            buf = ws.buffer(owner, "pad", (4, 4))
+            ws.reset()
+            with pytest.raises(ValueError):
+                buf[:] = 0.0
+
+    def test_no_enforcement_outside_sanitizer(self):
+        if sanitizer_active():
+            pytest.skip("ambient sanitize() scope (REPRO_SANITIZE=1); "
+                        "the inactive path is covered by the plain run")
+        ws = Workspace()
+        owner = _Owner()
+        ws.take(owner, "cols", (8, 8))
+        ws.take(owner, "cols", (8, 8))  # tolerated when inactive
+        ws.release(owner, "missing")    # ditto
+        buf = ws.buffer(owner, "pad", (4, 4))
+        ws.reset()
+        buf[:] = 0.0  # no fence outside the sanitizer
+
+
+class TestFreezing:
+    def test_freeze_noop_when_inactive(self):
+        if sanitizer_active():
+            pytest.skip("ambient sanitize() scope (REPRO_SANITIZE=1); "
+                        "the inactive path is covered by the plain run")
+        arr = np.ones(3, dtype=np.float32)
+        assert freeze(arr) is arr
+        assert arr.flags.writeable
+
+    def test_freeze_fences_when_active(self):
+        arr = np.ones(3, dtype=np.float32)
+        with sanitize():
+            freeze(arr)
+            with pytest.raises(ValueError):
+                arr += 1.0
+
+    def test_frozen_params_scope_and_restore(self):
+        layer = Linear(4, 2)
+        with sanitize():
+            with frozen_params(layer):
+                for arr in layer.params().values():
+                    assert not arr.flags.writeable
+            for arr in layer.params().values():
+                assert arr.flags.writeable
+
+    def test_frozen_params_nesting_composes(self):
+        layer = Linear(4, 2)
+        with sanitize():
+            with frozen_params(layer):
+                with frozen_params(layer):  # inner froze nothing new
+                    pass
+                for arr in layer.params().values():
+                    assert not arr.flags.writeable  # outer still holds
+
+    def test_eval_forward_frozen_backward_still_works(self):
+        from repro.models.yolo.mini import build_mini_yolo
+        from repro.rng import make_rng
+        model = build_mini_yolo("yolov8", "n")
+        x = make_rng(7, "san-eval").normal(
+            size=(1, 3, 64, 64)).astype(np.float32)
+        with sanitize() as state:
+            y = model.forward(x, training=False)
+        assert state.freezes >= 1
+        assert y.shape == (1, 5, 8, 8)
+        # Training (and its in-place optimizer writes) must still work
+        # after the sanitized eval pass thawed everything.
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+
+
+class TestDisjointness:
+    def test_assert_disjoint_passes_and_counts(self):
+        a = np.zeros(4)
+        b = np.zeros(4)
+        assert assert_disjoint({"a": a, "b": b}) == 1
+
+    def test_assert_disjoint_catches_view(self):
+        a = np.zeros(8)
+        with pytest.raises(AliasError, match="share memory"):
+            assert_disjoint({"whole": a, "part": a[2:4]})
+
+    def test_tree_disjoint_catches_nested_alias(self):
+        shared = np.arange(5)
+        live = {"state": {"key": shared}}
+        snap = {"copied": [shared[1:3]]}
+        with pytest.raises(AliasError, match="aliases live state"):
+            assert_tree_disjoint(snap, live, context="test")
+
+    def test_tree_disjoint_passes_on_deep_copy(self):
+        shared = np.arange(5)
+        live = {"state": {"key": shared}}
+        snap = {"copied": [shared.copy()]}
+        assert assert_tree_disjoint(snap, live) == 1
+
+    def test_counters_tick_inside_scope(self):
+        with sanitize() as state:
+            assert_disjoint({"a": np.zeros(2), "b": np.zeros(2)})
+            assert_tree_disjoint({"x": np.zeros(2)},
+                                 {"y": np.zeros(2)})
+        assert state.disjoint_checks == 1
+        assert state.tree_checks == 1
+
+    def test_scope_nesting_and_queries(self):
+        if sanitizer_active():
+            pytest.skip("ambient sanitize() scope (REPRO_SANITIZE=1); "
+                        "the inactive path is covered by the plain run")
+        assert not sanitizer_active()
+        assert current_sanitizer() is None
+        with sanitize() as outer:
+            assert sanitizer_active()
+            with sanitize() as inner:
+                assert current_sanitizer() is inner
+            assert current_sanitizer() is outer
+        assert not sanitizer_active()
+
+
+class TestServingSnapshotGuard:
+    def test_snapshot_under_sanitizer_is_checked(self):
+        from repro.serving import ClusterConfig, ClusterSimulator
+        sim = ClusterSimulator(ClusterConfig(seed=7))
+        sim.run(pause_at_ms=1000.0)
+        with sanitize() as state:
+            snap = sim.snapshot()
+        assert state.tree_checks > 0
+        json.dumps(snap, sort_keys=True)  # still pure data
+
+
+class TestSanitizeSweep:
+    """Satellite acceptance: all six variants, fused vs unfused, under
+    the sanitizer — zero violations and bitwise-identical outputs."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self) -> SanitizeReport:
+        return run_sanitize_sweep()
+
+    def test_all_six_variants_clean(self, sweep):
+        assert sweep.clean
+        assert len(sweep.results) == 6
+        assert sorted(r.variant for r in sweep.results) == [
+            "mini-yolov11-m", "mini-yolov11-n", "mini-yolov11-x",
+            "mini-yolov8-m", "mini-yolov8-n", "mini-yolov8-x"]
+
+    def test_sanitizer_observes_without_perturbing(self, sweep):
+        # bitwise_identical compares sanitized vs plain runs.
+        assert all(r.bitwise_identical for r in sweep.results)
+
+    def test_fused_matches_unfused(self, sweep):
+        assert all(r.max_abs_delta < 1e-4 for r in sweep.results)
+
+    def test_checks_actually_ran(self, sweep):
+        assert all(r.disjoint_pairs > 0 for r in sweep.results)
+        assert all(r.arena_buffers > 0 for r in sweep.results)
+        assert sweep.freezes >= 6  # ≥1 frozen eval forward/variant
+
+    def test_render_mentions_verdict(self, sweep):
+        text = sweep.render()
+        assert "clean" in text
+        assert "6 variants" in text

@@ -321,6 +321,66 @@ class TestSwallowedException:
             """)
         assert res.violations == []
 
+    def test_base_exception_recording_still_fires(self, tmp_path):
+        # BaseException swallows KeyboardInterrupt/SystemExit too;
+        # recording the fault is not enough — it must re-raise.
+        res = lint_snippet(tmp_path, """
+            def run(fn, tracer):
+                try:
+                    return fn()
+                except BaseException as exc:
+                    tracer.event("fault", error=type(exc).__name__)
+                    return None
+            """)
+        assert rule_ids_of(res) == ["RL005"]
+        assert "KeyboardInterrupt" in res.violations[0].message
+
+    def test_bare_except_recording_still_fires(self, tmp_path):
+        res = lint_snippet(tmp_path, """
+            def run(fn, log):
+                try:
+                    return fn()
+                except:
+                    log.warning("failed")
+                    return None
+            """)
+        assert rule_ids_of(res) == ["RL005"]
+
+    def test_base_exception_reraise_passes(self, tmp_path):
+        res = lint_snippet(tmp_path, """
+            def run(fn):
+                try:
+                    return fn()
+                except BaseException:
+                    raise
+            """)
+        assert res.violations == []
+
+    def test_pass_only_body_gets_pointed_message(self, tmp_path):
+        res = lint_snippet(tmp_path, """
+            def run(fn):
+                try:
+                    return fn()
+                except Exception:
+                    pass
+            """)
+        assert rule_ids_of(res) == ["RL005"]
+        assert "pass/continue-only" in res.violations[0].message
+
+    def test_continue_only_bare_except_fires(self, tmp_path):
+        res = lint_snippet(tmp_path, """
+            def run(items):
+                out = []
+                for item in items:
+                    try:
+                        out.append(item())
+                    except:
+                        continue
+                return out
+            """)
+        assert rule_ids_of(res) == ["RL005"]
+        assert "bare except" in res.violations[0].message
+
 
 class TestSuppressionHygiene:
     def test_missing_reason_reported(self, tmp_path):
